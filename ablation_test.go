@@ -1,0 +1,125 @@
+package corona
+
+// Ablation benches: quantify the design choices DESIGN.md calls out.
+//
+//	go test -bench=Ablation -benchtime=1x
+//
+// Each sub-benchmark runs a fixed-size workload under a parameter sweep and
+// reports the simulated runtime in cycles as a custom metric, so the cost or
+// benefit of the design point reads directly off the bench output.
+
+import (
+	"fmt"
+	"testing"
+
+	"corona/internal/config"
+	"corona/internal/core"
+	"corona/internal/memory"
+	"corona/internal/mesh"
+	"corona/internal/sim"
+	"corona/internal/traffic"
+	"corona/internal/xbar"
+)
+
+const ablationRequests = 10000
+
+func ablationSpec() traffic.Spec {
+	return traffic.Spec{Name: "ablation", Kind: traffic.Uniform, DemandTBs: 5, WriteFrac: 0.3}
+}
+
+// BenchmarkAblationArbitration compares Corona's optical token-ring
+// arbitration (8 positions/cycle, up to one revolution of wait) against an
+// idealized near-zero-cost arbiter, isolating the token scheme's overhead.
+func BenchmarkAblationArbitration(b *testing.B) {
+	cases := []struct {
+		name  string
+		speed int
+	}{
+		{"token-8pos-per-cycle", 8},
+		{"ideal-arbitration", 1 << 20},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var cycles sim.Time
+			for i := 0; i < b.N; i++ {
+				xb := xbar.DefaultConfig()
+				xb.TokenSpeed = c.speed
+				cfg := config.Corona()
+				cfg.XBarOverride = &xb
+				cycles = core.Run(cfg, ablationSpec(), ablationRequests, 5).Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationXBarWidth sweeps the crossbar channel width (the paper's
+// is 256 λ = 64 B/cycle: one cache line per clock).
+func BenchmarkAblationXBarWidth(b *testing.B) {
+	for _, width := range []int{16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("bytes-per-cycle-%d", width), func(b *testing.B) {
+			var cycles sim.Time
+			for i := 0; i < b.N; i++ {
+				xb := xbar.DefaultConfig()
+				xb.BytesPerCycle = width
+				cfg := config.Corona()
+				cfg.XBarOverride = &xb
+				cycles = core.Run(cfg, ablationSpec(), ablationRequests, 5).Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationMeshBisection sweeps the electrical mesh link width
+// around the paper's LMesh (8 B/cycle) and HMesh (16 B/cycle) points.
+func BenchmarkAblationMeshBisection(b *testing.B) {
+	for _, width := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("link-bytes-per-cycle-%d", width), func(b *testing.B) {
+			var cycles sim.Time
+			for i := 0; i < b.N; i++ {
+				mc := mesh.HMeshConfig()
+				mc.Name = fmt.Sprintf("mesh-%d", width)
+				mc.BytesPerCycle = width
+				cfg := config.Default(config.HMesh, config.OCM)
+				cfg.MeshOverride = &mc
+				cycles = core.Run(cfg, ablationSpec(), ablationRequests, 5).Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationOCMChain sweeps OCM daisy-chain depth; the un-retimed
+// optical pass-through should cost ~0.2 ns per module on end-to-end latency.
+func BenchmarkAblationOCMChain(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("modules-%d", depth), func(b *testing.B) {
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				mem := memory.OCMConfig()
+				mem.DaisyChain = depth
+				cfg := config.Corona()
+				cfg.MemOverride = &mem
+				lat = core.Run(cfg, ablationSpec(), ablationRequests, 5).MeanLatencyNs
+			}
+			b.ReportMetric(lat, "mean-latency-ns")
+		})
+	}
+}
+
+// BenchmarkAblationMSHRs sweeps the per-cluster MSHR file size, the knob
+// bounding each cluster's memory-level parallelism.
+func BenchmarkAblationMSHRs(b *testing.B) {
+	for _, mshrs := range []int{8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("mshrs-%d", mshrs), func(b *testing.B) {
+			var cycles sim.Time
+			for i := 0; i < b.N; i++ {
+				cfg := config.Corona()
+				cfg.MSHRs = mshrs
+				cycles = core.Run(cfg, ablationSpec(), ablationRequests, 5).Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}

@@ -1,0 +1,246 @@
+package corona
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation:
+//
+//	go test -bench=Table -benchmem      # Tables 1-4 (analytic)
+//	go test -bench=Fig -benchmem        # Figures 8-11 (full 5x15 sweep)
+//	go test -bench=Component -benchmem  # interconnect/memory micro-benches
+//
+// Figure benches share one sweep per request scale (cached across benches)
+// and report the paper's headline statistics as custom metrics. Absolute
+// numbers depend on the synthetic workload substitution (see DESIGN.md);
+// the shapes — who wins, by what factor, where the crossovers fall — are
+// the reproduction target. Use cmd/corona-sweep to print the full rows.
+
+import (
+	"sync"
+	"testing"
+
+	"corona/internal/config"
+	"corona/internal/core"
+	"corona/internal/memory"
+	"corona/internal/mesh"
+	"corona/internal/noc"
+	"corona/internal/sim"
+	"corona/internal/traffic"
+	"corona/internal/xbar"
+)
+
+// benchRequests is the per-cell request count for figure benches: large
+// enough for stable steady-state shapes, small enough to keep the full
+// 75-cell matrix around a minute.
+const benchRequests = 8000
+
+var (
+	sweepOnce   sync.Once
+	sweepShared *core.Sweep
+)
+
+func benchSweep(b *testing.B) *core.Sweep {
+	b.Helper()
+	sweepOnce.Do(func() {
+		s := core.NewSweep(benchRequests, 42)
+		s.Run(nil)
+		sweepShared = s
+	})
+	return sweepShared
+}
+
+// BenchmarkTable1Config regenerates the resource configuration table.
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if Table1().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Inventory regenerates the optical resource inventory and
+// reports the paper's totals (388 waveguides, ~1056 K rings).
+func BenchmarkTable2Inventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if Table2().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+	b.ReportMetric(388, "waveguides")
+	b.ReportMetric(1056, "Krings")
+}
+
+// BenchmarkTable3Benchmarks regenerates the benchmark setup table.
+func BenchmarkTable3Benchmarks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if Table3().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable4Memory regenerates the OCM-vs-ECM comparison and reports
+// the aggregate bandwidths.
+func BenchmarkTable4Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if Table4().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+	b.ReportMetric(memory.OCMConfig().AggregateBytesPerSec(64)/1e12, "OCM-TB/s")
+	b.ReportMetric(memory.ECMConfig().AggregateBytesPerSec(64)/1e12, "ECM-TB/s")
+}
+
+// BenchmarkFig8Speedup runs the sweep and reports the paper's headline
+// geometric-mean speedups (paper: synthetics 3.28 / 2.36, SPLASH 1.80 /
+// 1.44).
+func BenchmarkFig8Speedup(b *testing.B) {
+	var s *core.Sweep
+	for i := 0; i < b.N; i++ {
+		s = benchSweep(b)
+	}
+	synOCM, synXBar := s.GeoMeanSummary(0, 4)
+	splOCM, splXBar := s.GeoMeanSummary(4, 15)
+	b.ReportMetric(synOCM, "syn-OCM/ECM")
+	b.ReportMetric(synXBar, "syn-XBar/HMesh")
+	b.ReportMetric(splOCM, "splash-OCM/ECM")
+	b.ReportMetric(splXBar, "splash-XBar/HMesh")
+}
+
+// BenchmarkFig9Bandwidth reports XBar/OCM's peak achieved bandwidth across
+// workloads (the tallest bar of Figure 9).
+func BenchmarkFig9Bandwidth(b *testing.B) {
+	var s *core.Sweep
+	for i := 0; i < b.N; i++ {
+		s = benchSweep(b)
+	}
+	xo := len(s.Configs) - 1 // XBar/OCM
+	var peak, base float64
+	for w := range s.Workloads {
+		if v := s.Results[w][xo].AchievedTBs; v > peak {
+			peak = v
+		}
+		if v := s.Results[w][0].AchievedTBs; v > base {
+			base = v
+		}
+	}
+	b.ReportMetric(peak, "xbar-peak-TB/s")
+	b.ReportMetric(base, "lmesh-peak-TB/s")
+}
+
+// BenchmarkFig10Latency reports mean L2 miss latency on the best and worst
+// configurations for the uniform workload.
+func BenchmarkFig10Latency(b *testing.B) {
+	var s *core.Sweep
+	for i := 0; i < b.N; i++ {
+		s = benchSweep(b)
+	}
+	b.ReportMetric(s.Results[0][len(s.Configs)-1].MeanLatencyNs, "xbar-uniform-ns")
+	b.ReportMetric(s.Results[0][0].MeanLatencyNs, "lmesh-uniform-ns")
+}
+
+// BenchmarkFig11Power reports the crossbar's constant draw and the worst
+// mesh dynamic power across all workloads.
+func BenchmarkFig11Power(b *testing.B) {
+	var s *core.Sweep
+	for i := 0; i < b.N; i++ {
+		s = benchSweep(b)
+	}
+	var worstMesh float64
+	for w := range s.Workloads {
+		for c := 0; c < len(s.Configs)-1; c++ {
+			if v := s.Results[w][c].NetworkPowerW; v > worstMesh {
+				worstMesh = v
+			}
+		}
+	}
+	b.ReportMetric(26, "xbar-W")
+	b.ReportMetric(worstMesh, "mesh-worst-W")
+}
+
+// --- Component micro-benches: simulator throughput per subsystem. ---
+
+// BenchmarkComponentXBar measures crossbar message throughput.
+func BenchmarkComponentXBar(b *testing.B) {
+	k := sim.NewKernel()
+	x := xbar.New(k, xbar.DefaultConfig())
+	var delivered int
+	for c := 0; c < 64; c++ {
+		c := c
+		x.SetDeliver(c, func(m *noc.Message) { delivered++; x.Consume(c, m) })
+	}
+	rng := sim.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := rng.Intn(64)
+		dst := rng.Intn(63)
+		if dst >= src {
+			dst++
+		}
+		for !x.Send(&noc.Message{ID: uint64(i), Src: src, Dst: dst, Size: 64}) {
+			k.Step()
+		}
+		if i%64 == 0 {
+			k.RunLimit(1024)
+		}
+	}
+	k.Run()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkComponentMesh measures HMesh message throughput.
+func BenchmarkComponentMesh(b *testing.B) {
+	k := sim.NewKernel()
+	m := mesh.New(k, mesh.HMeshConfig())
+	var delivered int
+	for c := 0; c < 64; c++ {
+		c := c
+		m.SetDeliver(c, func(msg *noc.Message) { delivered++; m.Consume(c, msg) })
+	}
+	rng := sim.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := rng.Intn(64)
+		dst := rng.Intn(63)
+		if dst >= src {
+			dst++
+		}
+		for !m.Send(&noc.Message{ID: uint64(i), Src: src, Dst: dst, Size: 64, Kind: noc.KindResponse}) {
+			k.Step()
+		}
+		if i%64 == 0 {
+			k.RunLimit(4096)
+		}
+	}
+	k.Run()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// BenchmarkComponentMemory measures OCM controller transaction throughput.
+func BenchmarkComponentMemory(b *testing.B) {
+	k := sim.NewKernel()
+	cfg := memory.OCMConfig()
+	cfg.QueueDepth = 1 << 20
+	c := memory.NewController(k, cfg, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Submit(&memory.Request{ID: uint64(i), Addr: uint64(i) << 12, ReqBytes: 16, RspBytes: 72})
+		if i%256 == 0 {
+			k.RunLimit(4096)
+		}
+	}
+	k.Run()
+	if int(c.Served) != b.N {
+		b.Fatalf("served %d of %d", c.Served, b.N)
+	}
+}
+
+// BenchmarkComponentEndToEnd measures full-system simulated requests per
+// wall-clock second on the flagship configuration.
+func BenchmarkComponentEndToEnd(b *testing.B) {
+	spec := traffic.Spec{Name: "bench", Kind: traffic.Uniform, DemandTBs: 3, WriteFrac: 0.3}
+	b.ResetTimer()
+	core.Run(config.Corona(), spec, b.N, 7)
+}

@@ -1,0 +1,62 @@
+// Command corona-inventory prints the paper's analytic tables — resource
+// configuration (Table 1), optical component inventory (Table 2), benchmark
+// setup (Table 3), memory interconnect comparison (Table 4) — and the
+// optical link budgets that gate the design (crossbar worst case, OCM
+// daisy-chain depth).
+//
+// It also prints the Section 3.1/3.4 package budget (die areas, power bands,
+// TSV counts) and the Section 2 fabrication-yield analysis.
+//
+// Usage:
+//
+//	corona-inventory [-table 1|2|3|4|budget|stack|yield|all] [-launch dBm]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"corona/internal/config"
+	"corona/internal/photonic"
+	"corona/internal/stack"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 1, 2, 3, 4, budget, stack, yield, or all")
+	launch := flag.Float64("launch", 10, "per-wavelength laser launch power in dBm for the budgets")
+	flag.Parse()
+
+	want := func(name string) bool { return *table == "all" || *table == name }
+
+	if want("1") {
+		fmt.Printf("Table 1: Resource Configuration\n%s\n", config.Table1())
+	}
+	if want("2") {
+		fmt.Printf("Table 2: Optical Resource Inventory\n%s\n",
+			photonic.InventoryTable(photonic.DefaultGeometry()))
+	}
+	if want("3") {
+		fmt.Printf("Table 3: Benchmarks and Configurations\n%s\n", config.Table3())
+	}
+	if want("4") {
+		fmt.Printf("Table 4: Optical vs Electrical Memory Interconnects\n%s\n", config.Table4())
+	}
+	if want("stack") {
+		fmt.Printf("3D package budget (Sections 3.1, 3.4)\n%s\n", stack.Estimate(64).Table())
+	}
+	if want("yield") {
+		m := photonic.DefaultYieldModel()
+		fmt.Printf("Fabrication yield analysis (ring hard-failure prob %.0e)\n%s\n",
+			m.RingFailureProb, photonic.YieldReport(photonic.DefaultGeometry(), m))
+		fmt.Printf("Spares per 256-wavelength crossbar channel for 99.9%% channel yield: %d\n\n",
+			m.SparesFor(256, 0.999))
+	}
+	if want("budget") {
+		fmt.Println("Optical link budgets")
+		fmt.Println(photonic.CrossbarWorstCaseBudget(*launch))
+		fmt.Println()
+		fmt.Println(photonic.OCMBudget(*launch, 4))
+		fmt.Printf("\nMax OCM daisy-chain depth at %.1f dBm launch (1 dB margin): %d modules\n",
+			*launch, photonic.MaxOCMModules(*launch, 1))
+	}
+}

@@ -1,0 +1,97 @@
+// Command corona-sim simulates a single (configuration, workload) pair and
+// prints the detailed result: runtime, achieved bandwidth, latency
+// distribution, and power. It can also replay a trace file produced by
+// corona-tracegen.
+//
+// Usage:
+//
+//	corona-sim [-config XBar/OCM] [-workload Uniform] [-requests N] [-seed S]
+//	corona-sim [-config XBar/OCM] -trace file.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"corona/internal/config"
+	"corona/internal/core"
+	"corona/internal/trace"
+	"corona/internal/traffic"
+)
+
+func findConfig(name string) (config.System, bool) {
+	for _, c := range config.Combos() {
+		if c.Name() == name {
+			return c, true
+		}
+	}
+	return config.System{}, false
+}
+
+func findWorkload(name string) (traffic.Spec, bool) {
+	for _, w := range core.AllWorkloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return traffic.Spec{}, false
+}
+
+func main() {
+	cfgName := flag.String("config", "XBar/OCM", "system configuration (XBar/OCM, HMesh/OCM, LMesh/OCM, HMesh/ECM, LMesh/ECM)")
+	wlName := flag.String("workload", "Uniform", "workload name (Table 3: Uniform, Hot Spot, Tornado, Transpose, Barnes, ..., Water-Sp)")
+	requests := flag.Int("requests", 50000, "L2 misses to simulate")
+	seed := flag.Uint64("seed", 42, "workload generator seed")
+	traceFile := flag.String("trace", "", "replay this trace file instead of a synthetic workload")
+	threads := flag.Int("threads-per-cluster", 16, "thread-to-cluster mapping for trace replay")
+	flag.Parse()
+
+	cfg, ok := findConfig(*cfgName)
+	if !ok {
+		log.Fatalf("unknown configuration %q", *cfgName)
+	}
+
+	var res core.Result
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs, err := trace.ReadAll(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys := core.NewSystem(cfg)
+		res = core.NewTraceRunner(sys, recs, *threads).Run()
+	} else {
+		spec, ok := findWorkload(*wlName)
+		if !ok {
+			log.Fatalf("unknown workload %q", *wlName)
+		}
+		res = core.Run(cfg, spec, *requests, *seed)
+	}
+
+	fmt.Printf("configuration:        %s\n", res.Config)
+	fmt.Printf("workload:             %s\n", res.Workload)
+	fmt.Printf("requests:             %d\n", res.Requests)
+	fmt.Printf("runtime:              %d cycles (%.2f us)\n", res.Cycles, res.Cycles.Ns()/1000)
+	fmt.Printf("achieved bandwidth:   %.3f TB/s\n", res.AchievedTBs)
+	fmt.Printf("mean miss latency:    %.1f ns\n", res.MeanLatencyNs)
+	fmt.Printf("p99 miss latency:     %.1f ns\n", res.P99LatencyNs)
+	fmt.Printf("network power:        %.1f W\n", res.NetworkPowerW)
+	fmt.Printf("memory link power:    %.2f W\n", res.MemoryPowerW)
+	fmt.Printf("network messages:     %d (%d bytes)\n", res.NetMessages, res.NetBytes)
+	if res.HopTraversals > 0 {
+		fmt.Printf("mesh hop traversals:  %d\n", res.HopTraversals)
+	}
+	if res.XBarUtil > 0 {
+		fmt.Printf("crossbar utilization: %.1f%%\n", res.XBarUtil*100)
+	}
+}

@@ -1,0 +1,59 @@
+// Command corona-sweep runs the paper's full experiment matrix — five system
+// configurations by fifteen workloads — and prints Figures 8, 9, 10, and 11
+// as tables, plus the headline geometric-mean speedups.
+//
+// Usage:
+//
+//	corona-sweep [-requests N] [-seed S] [-fig 8|9|10|11|all] [-v]
+//
+// The paper ran 0.6M-240M requests per cell (Table 3); the default here is
+// 20000, which reproduces the shapes in about a minute. Raise -requests for
+// tighter numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"corona/internal/core"
+)
+
+func main() {
+	requests := flag.Int("requests", 20000, "L2 misses simulated per (config, workload) cell")
+	seed := flag.Uint64("seed", 42, "workload generator seed")
+	fig := flag.String("fig", "all", "which figure to print: 8, 9, 10, 11, or all")
+	verbose := flag.Bool("v", false, "print per-cell progress")
+	flag.Parse()
+
+	s := core.NewSweep(*requests, *seed)
+	start := time.Now()
+	var progress func(w, c string)
+	if *verbose {
+		progress = func(w, c string) { fmt.Fprintf(os.Stderr, "running %s on %s\n", w, c) }
+	}
+	s.Run(progress)
+	fmt.Fprintf(os.Stderr, "sweep of %d cells x %d requests took %v\n",
+		len(s.Configs)*len(s.Workloads), *requests, time.Since(start).Round(time.Millisecond))
+
+	show := func(name, title string, tab fmt.Stringer) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		fmt.Printf("Figure %s: %s\n%s\n", name, title, tab)
+	}
+	show("8", "Normalized Speedup (over LMesh/ECM)", s.Figure8())
+	show("9", "Achieved Bandwidth (TB/s)", s.Figure9())
+	show("10", "Average L2 Miss Latency (ns)", s.Figure10())
+	show("11", "On-chip Network Power (W)", s.Figure11())
+
+	if *fig == "all" || *fig == "8" {
+		a, b := s.GeoMeanSummary(0, 4)
+		fmt.Printf("Synthetic geomean speedups:  OCM over ECM (HMesh) = %.2f (paper: 3.28);"+
+			"  XBar over HMesh (OCM) = %.2f (paper: 2.36)\n", a, b)
+		a, b = s.GeoMeanSummary(4, 15)
+		fmt.Printf("SPLASH-2 geomean speedups:   OCM over ECM (HMesh) = %.2f (paper: 1.80);"+
+			"  XBar over HMesh (OCM) = %.2f (paper: 1.44)\n", a, b)
+	}
+}

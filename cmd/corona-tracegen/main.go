@@ -1,0 +1,95 @@
+// Command corona-tracegen produces annotated L2-miss trace files in the
+// format the network simulator replays — the role COTSon plays in the
+// paper's two-part infrastructure (Section 4).
+//
+// Two generation modes:
+//
+//   - workload: sample a named Table 3 workload model directly.
+//   - cache: execute synthetic per-thread reference streams against real
+//     L1/L2 cache models (package cluster) and record what misses through.
+//
+// Usage:
+//
+//	corona-tracegen -o fft.trc -workload FFT -n 100000
+//	corona-tracegen -o cache.trc -mode cache -n 100000 -working-set 65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"corona/internal/cluster"
+	"corona/internal/core"
+	"corona/internal/trace"
+	"corona/internal/traffic"
+)
+
+func main() {
+	out := flag.String("o", "corona.trc", "output trace file")
+	mode := flag.String("mode", "workload", "generation mode: workload or cache")
+	wlName := flag.String("workload", "Uniform", "workload model name (workload mode)")
+	n := flag.Int("n", 100000, "number of L2 miss records to generate")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	workingSet := flag.Int("working-set", 64*1024, "per-thread working set in lines (cache mode)")
+	streamFrac := flag.Float64("stream", 0.2, "streaming reference fraction (cache mode)")
+	clusters := flag.Int("clusters", 64, "cluster count")
+	flag.Parse()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, uint64(*n))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *mode {
+	case "workload":
+		var spec traffic.Spec
+		found := false
+		for _, s := range core.AllWorkloads() {
+			if s.Name == *wlName {
+				spec, found = s, true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("unknown workload %q", *wlName)
+		}
+		g := traffic.NewGenerator(spec, *clusters, *seed)
+		for i := 0; i < *n; i++ {
+			if err := w.Write(g.Next(i % *clusters)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case "cache":
+		model := cluster.ThreadModel{
+			WorkingSetLines:    *workingSet,
+			StreamFrac:         *streamFrac,
+			WriteFrac:          0.3,
+			ReferencesPerCycle: 0.5,
+		}
+		perCluster := *n / *clusters
+		for c := 0; c < *clusters; c++ {
+			eng := cluster.NewTraceEngine(cluster.New(c, true), model, *seed+uint64(c))
+			count := perCluster
+			if c < *n%*clusters {
+				count++
+			}
+			if err := eng.Generate(w, count); err != nil {
+				log.Fatal(err)
+			}
+		}
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d records to %s\n", w.Count(), *out)
+}

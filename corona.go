@@ -1,0 +1,108 @@
+// Package corona is a full reproduction, in Go, of the system described in
+// "Corona: System Implications of Emerging Nanophotonic Technology"
+// (Vantrease et al., ISCA 2008): a 256-core, 64-cluster NUMA architecture
+// interconnected by an optically arbitrated DWDM photonic crossbar
+// (20.48 TB/s), an optical broadcast bus, and optically connected memory
+// (10.24 TB/s), evaluated against electrical 2D-mesh / electrically
+// connected memory baselines.
+//
+// The package is a façade over the simulation library in internal/:
+//
+//   - BuildSystem / RunWorkload simulate one (configuration, workload) pair,
+//     with detailed finite-buffer models of the crossbar, meshes, token
+//     arbitration, hubs, MSHRs, and memory controllers.
+//   - NewSweep runs the paper's full 5-configuration x 15-workload matrix
+//     and renders Figures 8-11 as tables.
+//   - Table1/Table2/Table3/Table4 reproduce the paper's analytic tables.
+//   - ReplayTrace replays an annotated L2-miss trace (package-format traces
+//     are produced by cmd/corona-tracegen or the cluster trace engine).
+//
+// All simulated time is in 5 GHz clock cycles; results report nanoseconds
+// and TB/s. Runs are deterministic for a given seed.
+package corona
+
+import (
+	"corona/internal/config"
+	"corona/internal/core"
+	"corona/internal/photonic"
+	"corona/internal/splash"
+	"corona/internal/stats"
+	"corona/internal/trace"
+	"corona/internal/traffic"
+)
+
+// SystemConfig selects one of the five simulated machines.
+type SystemConfig = config.System
+
+// Workload describes an offered traffic pattern (see internal/traffic).
+type Workload = traffic.Spec
+
+// Result is one simulation outcome: runtime, achieved bandwidth, latency,
+// and power — one bar of each of Figures 8-11.
+type Result = core.Result
+
+// Sweep is the full experiment matrix behind the paper's figures.
+type Sweep = core.Sweep
+
+// Table is a rendered result table.
+type Table = stats.Table
+
+// TraceRecord is one annotated L2 miss.
+type TraceRecord = trace.Record
+
+// Corona returns the flagship XBar/OCM configuration.
+func Corona() SystemConfig { return config.Corona() }
+
+// Configurations returns the five simulated configurations in the paper's
+// order: LMesh/ECM (baseline), HMesh/ECM, LMesh/OCM, HMesh/OCM, XBar/OCM.
+func Configurations() []SystemConfig { return config.Combos() }
+
+// SyntheticWorkloads returns Table 3's four synthetic patterns.
+func SyntheticWorkloads() []Workload { return traffic.Synthetic() }
+
+// SplashWorkloads returns the eleven SPLASH-2 application models.
+func SplashWorkloads() []Workload { return splash.Specs() }
+
+// AllWorkloads returns all fifteen workloads in figure order.
+func AllWorkloads() []Workload { return core.AllWorkloads() }
+
+// RunWorkload simulates `requests` L2 misses of spec on cfg. Deterministic
+// per seed.
+func RunWorkload(cfg SystemConfig, spec Workload, requests int, seed uint64) Result {
+	return core.Run(cfg, spec, requests, seed)
+}
+
+// ReplayTrace replays recorded misses on cfg; threadsPerCluster maps trace
+// thread ids onto clusters (16 for a full 1024-thread Corona).
+func ReplayTrace(cfg SystemConfig, recs []TraceRecord, threadsPerCluster int) Result {
+	sys := core.NewSystem(cfg)
+	return core.NewTraceRunner(sys, recs, threadsPerCluster).Run()
+}
+
+// NewSweep prepares the 5x15 experiment matrix at `requests` misses per
+// cell. Call Run, then Figure8..Figure11 for the tables.
+func NewSweep(requests int, seed uint64) *Sweep { return core.NewSweep(requests, seed) }
+
+// Table1 returns the paper's resource configuration table.
+func Table1() *Table { return config.Table1() }
+
+// Table2 returns the optical resource inventory (waveguide and ring counts).
+func Table2() *Table { return photonic.InventoryTable(photonic.DefaultGeometry()) }
+
+// Table3 returns the benchmark setup table.
+func Table3() *Table { return config.Table3() }
+
+// Table4 returns the OCM-vs-ECM memory interconnect comparison.
+func Table4() *Table { return config.Table4() }
+
+// CrossbarBudget returns the worst-case optical power budget of a crossbar
+// channel at the given per-wavelength launch power (dBm).
+func CrossbarBudget(launchDBm float64) *photonic.LinkBudget {
+	return photonic.CrossbarWorstCaseBudget(launchDBm)
+}
+
+// OCMChainBudget returns the optical budget of an OCM fiber loop through n
+// daisy-chained memory modules.
+func OCMChainBudget(launchDBm float64, n int) *photonic.LinkBudget {
+	return photonic.OCMBudget(launchDBm, n)
+}

@@ -1,0 +1,147 @@
+package corona
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"corona/internal/cluster"
+	"corona/internal/trace"
+)
+
+func TestPublicConfigurations(t *testing.T) {
+	cfgs := Configurations()
+	if len(cfgs) != 5 {
+		t.Fatalf("configurations = %d, want 5", len(cfgs))
+	}
+	if Corona().Name() != "XBar/OCM" {
+		t.Fatalf("Corona() = %s", Corona().Name())
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if n := len(SyntheticWorkloads()); n != 4 {
+		t.Fatalf("synthetics = %d, want 4", n)
+	}
+	if n := len(SplashWorkloads()); n != 11 {
+		t.Fatalf("splash = %d, want 11", n)
+	}
+	if n := len(AllWorkloads()); n != 15 {
+		t.Fatalf("all = %d, want 15", n)
+	}
+}
+
+func TestPublicRun(t *testing.T) {
+	res := RunWorkload(Corona(), SyntheticWorkloads()[0], 1000, 1)
+	if res.Requests != 1000 || res.Cycles == 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.Config != "XBar/OCM" || res.Workload != "Uniform" {
+		t.Fatalf("labels: %s / %s", res.Config, res.Workload)
+	}
+}
+
+func TestPublicReplay(t *testing.T) {
+	recs := []TraceRecord{
+		{Time: 0, Thread: 0, Addr: 0x40 * 5, Write: false},
+		{Time: 1, Thread: 900, Addr: 0x40 * 9, Write: true},
+	}
+	res := ReplayTrace(Corona(), recs, 16)
+	if res.Requests != 2 {
+		t.Fatalf("replay requests = %d, want 2", res.Requests)
+	}
+}
+
+func TestPublicTables(t *testing.T) {
+	checks := map[string]struct {
+		table *Table
+		want  string
+	}{
+		"Table1": {Table1(), "MOESI"},
+		"Table2": {Table2(), "1024 K"},
+		"Table3": {Table3(), "Radix"},
+		"Table4": {Table4(), "256 fibers"},
+	}
+	for name, c := range checks {
+		if !strings.Contains(c.table.String(), c.want) {
+			t.Errorf("%s missing %q:\n%s", name, c.want, c.table)
+		}
+	}
+}
+
+func TestPublicBudgets(t *testing.T) {
+	if !CrossbarBudget(10).Closes() {
+		t.Error("crossbar budget should close at 10 dBm")
+	}
+	deep := OCMChainBudget(0, 4)
+	shallow := OCMChainBudget(0, 1)
+	if deep.MarginDB() >= shallow.MarginDB() {
+		t.Error("deeper OCM chains must have less margin")
+	}
+}
+
+func TestPublicSweep(t *testing.T) {
+	s := NewSweep(300, 2)
+	s.Workloads = s.Workloads[:1]
+	s.Run(nil)
+	if !strings.Contains(s.Figure8().String(), "Uniform") {
+		t.Fatal("Figure 8 missing workload row")
+	}
+}
+
+// TestFullPipeline exercises the complete two-part infrastructure end to
+// end, as the paper's Section 4 describes it: synthetic threads run against
+// real L1/L2 cache models (the COTSon substitute), the resulting L2 misses
+// are serialized to the trace format, read back, and replayed on two system
+// configurations by the network simulator.
+func TestFullPipeline(t *testing.T) {
+	var buf bytes.Buffer
+	const perCluster = 100
+	w, err := trace.NewWriter(&buf, 64*perCluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := cluster.ThreadModel{
+		WorkingSetLines:    32 * 1024, // thrashes the 256 KB sim L2
+		StreamFrac:         0.2,
+		WriteFrac:          0.3,
+		ReferencesPerCycle: 0.5,
+	}
+	for c := 0; c < 64; c++ {
+		eng := cluster.NewTraceEngine(cluster.New(c, true), model, 7+uint64(c))
+		if err := eng.Generate(w, perCluster); err != nil {
+			t.Fatal(err)
+		}
+		if eng.MissRate() == 0 {
+			t.Fatalf("cluster %d produced no misses", c)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 64*perCluster {
+		t.Fatalf("trace has %d records, want %d", len(recs), 64*perCluster)
+	}
+
+	fast := ReplayTrace(Corona(), recs, cluster.ThreadsPerCluster)
+	slow := ReplayTrace(Configurations()[0], recs, cluster.ThreadsPerCluster)
+	if fast.Requests != len(recs) || slow.Requests != len(recs) {
+		t.Fatalf("replay incomplete: %d/%d", fast.Requests, slow.Requests)
+	}
+	if fast.Cycles >= slow.Cycles {
+		t.Errorf("XBar/OCM replay (%d cycles) not faster than LMesh/ECM (%d)",
+			fast.Cycles, slow.Cycles)
+	}
+	if fast.MeanLatencyNs >= slow.MeanLatencyNs {
+		t.Errorf("XBar/OCM latency %.1f >= LMesh/ECM %.1f", fast.MeanLatencyNs, slow.MeanLatencyNs)
+	}
+}

@@ -1,0 +1,36 @@
+// Quickstart: build the flagship Corona machine (optical crossbar + optically
+// connected memory), run a uniform random workload, and print the headline
+// statistics next to the LMesh/ECM electrical baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"corona"
+)
+
+func main() {
+	const requests = 20000
+	uniform := corona.SyntheticWorkloads()[0]
+
+	fmt.Println("Corona quickstart: 64 clusters / 256 cores, uniform random memory traffic")
+	fmt.Printf("simulating %d L2 misses per configuration...\n\n", requests)
+
+	optical := corona.RunWorkload(corona.Corona(), uniform, requests, 1)
+	baseline := corona.RunWorkload(corona.Configurations()[0], uniform, requests, 1)
+
+	row := func(r corona.Result) {
+		fmt.Printf("%-10s  %8d cycles  %6.2f TB/s  %7.1f ns mean latency  %5.1f W network\n",
+			r.Config, r.Cycles, r.AchievedTBs, r.MeanLatencyNs, r.NetworkPowerW)
+	}
+	row(baseline)
+	row(optical)
+
+	fmt.Printf("\nCorona speedup over the electrical baseline: %.2fx\n", optical.Speedup(baseline))
+	fmt.Printf("Crossbar channel utilization: %.1f%%\n", optical.XBarUtil*100)
+
+	fmt.Println("\nThe machine's analytic inventory (Table 2 of the paper):")
+	fmt.Println(corona.Table2())
+}

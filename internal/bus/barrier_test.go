@@ -1,0 +1,111 @@
+package bus
+
+import (
+	"testing"
+
+	"corona/internal/sim"
+)
+
+func TestBarrierReleasesAllAfterLastArrival(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, DefaultConfig())
+	br := NewBarrier(b, 64)
+
+	released := make([]sim.Time, 64)
+	releasedCount := 0
+	var lastArrival sim.Time
+	for c := 0; c < 64; c++ {
+		c := c
+		at := sim.Time(c * 3) // staggered arrivals
+		if at > lastArrival {
+			lastArrival = at
+		}
+		k.At(at, func() {
+			br.Arrive(c, func() {
+				released[c] = k.Now()
+				releasedCount++
+			})
+		})
+	}
+	k.Run()
+	if releasedCount != 64 {
+		t.Fatalf("released %d clusters, want 64", releasedCount)
+	}
+	for c, at := range released {
+		if at < lastArrival {
+			t.Fatalf("cluster %d released at %d, before the last arrival at %d", c, at, lastArrival)
+		}
+	}
+	if br.Releases != 1 {
+		t.Fatalf("Releases = %d, want 1", br.Releases)
+	}
+}
+
+func TestBarrierLatencyIsBusBound(t *testing.T) {
+	// All clusters arrive simultaneously: release requires 64 serialized
+	// one-cycle broadcasts plus propagation, i.e. on the order of 100-300
+	// cycles — far cheaper than 64 crossbar round trips to a coordinator
+	// under contention.
+	k := sim.NewKernel()
+	b := New(k, DefaultConfig())
+	br := NewBarrier(b, 64)
+	var last sim.Time
+	n := 0
+	for c := 0; c < 64; c++ {
+		br.Arrive(c, func() { n++; last = k.Now() })
+	}
+	k.Run()
+	if n != 64 {
+		t.Fatalf("released %d, want 64", n)
+	}
+	if last > 400 {
+		t.Errorf("barrier completed at %d cycles, want <= 400 (bus-serialized)", last)
+	}
+	if last < 64 {
+		t.Errorf("barrier completed at %d cycles; 64 broadcasts cannot fit", last)
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, DefaultConfig())
+	br := NewBarrier(b, 64)
+	for gen := 0; gen < 3; gen++ {
+		n := 0
+		for c := 0; c < 64; c++ {
+			br.Arrive(c, func() { n++ })
+		}
+		k.Run()
+		if n != 64 {
+			t.Fatalf("generation %d released %d, want 64", gen, n)
+		}
+	}
+	if br.Releases != 3 {
+		t.Fatalf("Releases = %d, want 3", br.Releases)
+	}
+}
+
+func TestBarrierDoubleArrivalPanics(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, DefaultConfig())
+	br := NewBarrier(b, 64)
+	br.Arrive(5, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("double arrival did not panic")
+		}
+	}()
+	br.Arrive(5, nil)
+	_ = k
+}
+
+func TestBarrierSizeValidation(t *testing.T) {
+	k := sim.NewKernel()
+	b := New(k, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized barrier did not panic")
+		}
+	}()
+	NewBarrier(b, 65)
+}

@@ -1,0 +1,144 @@
+// Package bus models Corona's optical broadcast bus (Section 3.2.2): a
+// single 64-wavelength waveguide that passes every cluster twice in a coiled,
+// spiral-like layout. On the light's first pass around the coil a cluster —
+// having acquired the bus's single arbitration token — modulates its message;
+// on the second pass the message is "active" and every cluster's splitter
+// diverts a fraction of the light to a dead-end waveguide populated with
+// detectors, so all clusters snoop the message simultaneously.
+//
+// The bus exists to turn MOESI invalidations of widely shared lines into one
+// message instead of a storm of crossbar unicasts; it can also carry other
+// broadcast traffic (bandwidth-adaptive snooping, barrier notification).
+package bus
+
+import (
+	"fmt"
+
+	"corona/internal/arbiter"
+	"corona/internal/noc"
+	"corona/internal/sim"
+)
+
+// Config parameterizes the broadcast bus.
+type Config struct {
+	Clusters      int // 64
+	BytesPerCycle int // 64 λ dual-edge = 16 B/cycle
+	TokenSpeed    int // positions per cycle, as for the crossbar
+	InjectQueue   int // per-cluster broadcast FIFO depth
+}
+
+// DefaultConfig returns the published bus parameters.
+func DefaultConfig() Config {
+	return Config{Clusters: 64, BytesPerCycle: 16, TokenSpeed: 8, InjectQueue: 8}
+}
+
+// DeliverFunc receives a broadcast at one cluster.
+type DeliverFunc func(*noc.Message)
+
+// Bus is the optical broadcast bus. It is not a noc.Network: its delivery
+// semantics are one-to-all, and snooped messages are consumed immediately by
+// the coherence logic rather than buffered with credits (invalidates are
+// small and the snoop path is dedicated).
+type Bus struct {
+	k   *sim.Kernel
+	cfg Config
+	arb *arbiter.TokenRing
+
+	queues  [][]*noc.Message
+	active  []bool
+	deliver []DeliverFunc
+
+	// Broadcasts and Bytes count completed broadcasts.
+	Broadcasts uint64
+	Bytes      uint64
+	// BusyCycles accumulates modulation occupancy.
+	BusyCycles uint64
+}
+
+// New builds a broadcast bus on kernel k.
+func New(k *sim.Kernel, cfg Config) *Bus {
+	if cfg.Clusters <= 0 || cfg.BytesPerCycle <= 0 || cfg.InjectQueue <= 0 {
+		panic(fmt.Sprintf("bus: invalid config %+v", cfg))
+	}
+	return &Bus{
+		k:   k,
+		cfg: cfg,
+		// One token arbitrates the single bus among all clusters.
+		arb:     arbiter.New(k, cfg.Clusters, 1, cfg.TokenSpeed),
+		queues:  make([][]*noc.Message, cfg.Clusters),
+		active:  make([]bool, cfg.Clusters),
+		deliver: make([]DeliverFunc, cfg.Clusters),
+	}
+}
+
+// Clusters returns the endpoint count.
+func (b *Bus) Clusters() int { return b.cfg.Clusters }
+
+// Arbiter exposes the bus token for statistics.
+func (b *Bus) Arbiter() *arbiter.TokenRing { return b.arb }
+
+// SetDeliver installs cluster's snoop callback.
+func (b *Bus) SetDeliver(cluster int, fn DeliverFunc) { b.deliver[cluster] = fn }
+
+// Broadcast queues msg for transmission to every cluster (including the
+// sender, whose own detectors snoop the second pass like everyone else's).
+// It returns false when the sender's broadcast FIFO is full.
+func (b *Bus) Broadcast(m *noc.Message) bool {
+	if m == nil || m.Size <= 0 {
+		panic("bus: invalid message")
+	}
+	if m.Src < 0 || m.Src >= b.cfg.Clusters {
+		panic(fmt.Sprintf("bus: source %d out of range", m.Src))
+	}
+	if len(b.queues[m.Src]) >= b.cfg.InjectQueue {
+		return false
+	}
+	m.Inject = b.k.Now()
+	b.queues[m.Src] = append(b.queues[m.Src], m)
+	if !b.active[m.Src] {
+		b.active[m.Src] = true
+		b.arb.Request(0, m.Src, func() { b.transmit(m.Src) })
+	}
+	return true
+}
+
+// transmit modulates the head message on the first pass and schedules the
+// second-pass snoops.
+func (b *Bus) transmit(src int) {
+	q := b.queues[src]
+	m := q[0]
+	b.queues[src] = q[1:]
+
+	tx := sim.Time((m.Size + b.cfg.BytesPerCycle - 1) / b.cfg.BytesPerCycle)
+	b.BusyCycles += uint64(tx)
+
+	b.k.Schedule(tx, func() {
+		b.arb.Release(0, src)
+		if len(b.queues[src]) > 0 {
+			b.arb.Request(0, src, func() { b.transmit(src) })
+		} else {
+			b.active[src] = false
+		}
+	})
+
+	// The message becomes active when the light enters its second pass: it
+	// must first travel from src to the end of the first pass (the coil's
+	// midpoint), then each cluster j snoops when the light reaches its
+	// second-pass position. Cluster positions on the second pass follow the
+	// same increasing order, so cluster j receives at
+	// (Clusters - src) + j positions after modulation.
+	for j := 0; j < b.cfg.Clusters; j++ {
+		dist := (b.cfg.Clusters - src) + j
+		prop := sim.Time((dist + b.cfg.TokenSpeed - 1) / b.cfg.TokenSpeed)
+		j := j
+		b.k.Schedule(tx+prop, func() {
+			if b.deliver[j] != nil {
+				b.deliver[j](m)
+			}
+		})
+	}
+	b.k.Schedule(tx, func() {
+		b.Broadcasts++
+		b.Bytes += uint64(m.Size)
+	})
+}

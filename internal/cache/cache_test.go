@@ -1,0 +1,244 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"corona/internal/sim"
+)
+
+func TestConfigGeometry(t *testing.T) {
+	if s := L1IConfig().Sets(); s != 64 {
+		t.Errorf("L1I sets = %d, want 64", s)
+	}
+	if s := L1DConfig().Sets(); s != 128 {
+		t.Errorf("L1D sets = %d, want 128", s)
+	}
+	if s := L2Config().Sets(); s != 4096 {
+		t.Errorf("L2 sets = %d, want 4096", s)
+	}
+	if s := L2SimConfig().Sets(); s != 256 {
+		t.Errorf("L2Sim sets = %d, want 256", s)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(L1DConfig())
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	if r := c.Access(0x1000+32, false); !r.Hit {
+		t.Fatal("same-line access missed")
+	}
+	if r := c.Access(0x1000+64, false); r.Hit {
+		t.Fatal("next-line access hit")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 hits / 2 misses", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4-way set: fill 4 ways, touch the first, insert a fifth; the second
+	// (LRU) way must be the victim.
+	c := New(Config{Name: "t", SizeBytes: 4 * 64, Ways: 4, LineBytes: 64})
+	// One set only; distinct tags via high bits.
+	addrs := []uint64{0 << 6, 1 << 6, 2 << 6, 3 << 6}
+	for _, a := range addrs {
+		c.Access(a, false)
+	}
+	c.Access(addrs[0], false) // refresh way 0
+	r := c.Access(4<<6, false)
+	if !r.Eviction {
+		t.Fatal("no eviction on full set")
+	}
+	if r.VictimAddr != addrs[1] {
+		t.Errorf("victim = %#x, want %#x (LRU)", r.VictimAddr, addrs[1])
+	}
+	if !c.Contains(addrs[0]) {
+		t.Error("refreshed line evicted")
+	}
+	if c.Contains(addrs[1]) {
+		t.Error("victim still present")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 64, Ways: 1, LineBytes: 64})
+	c.Access(0, true) // dirty
+	r := c.Access(1<<6, false)
+	if !r.Writeback || r.VictimAddr != 0 {
+		t.Fatalf("dirty eviction result = %+v, want writeback of 0", r)
+	}
+	// Clean eviction: no writeback.
+	r = c.Access(2<<6, false)
+	if r.Writeback {
+		t.Fatal("clean eviction produced a writeback")
+	}
+	if !r.Eviction {
+		t.Fatal("eviction not reported")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(L1DConfig())
+	c.Access(0x40, true)
+	present, dirty := c.Invalidate(0x40)
+	if !present || !dirty {
+		t.Fatalf("Invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if c.Contains(0x40) {
+		t.Fatal("line survives invalidation")
+	}
+	present, _ = c.Invalidate(0x40)
+	if present {
+		t.Fatal("double invalidation reported present")
+	}
+}
+
+func TestContainsDoesNotTouchLRU(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 2 * 64, Ways: 2, LineBytes: 64})
+	c.Access(0<<6, false)
+	c.Access(1<<6, false)
+	c.Contains(0 << 6) // must NOT refresh
+	r := c.Access(2<<6, false)
+	if r.VictimAddr != 0<<6 {
+		t.Errorf("victim = %#x, want %#x (Contains must not refresh LRU)", r.VictimAddr, 0<<6)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 4 * 64, Ways: 2, LineBytes: 64})
+	if c.Occupancy() != 0 {
+		t.Fatal("empty cache occupancy != 0")
+	}
+	c.Access(0, false)
+	if got := c.Occupancy(); got != 0.25 {
+		t.Fatalf("occupancy = %v, want 0.25", got)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty stats miss rate != 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.MissRate() != 0.25 {
+		t.Errorf("miss rate = %v, want 0.25", s.MissRate())
+	}
+}
+
+// Property: a cache never reports a hit for a line it has not been shown, and
+// working sets no larger than one set's ways never evict.
+func TestSmallWorkingSetNeverEvicts(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		cfg := Config{Name: "t", SizeBytes: 8 * 64, Ways: 8, LineBytes: 64}
+		c := New(cfg)
+		// 8 lines mapping to the same single set? Sets()=1, so any 8 lines fit.
+		if cfg.Sets() != 1 {
+			return false
+		}
+		lines := make([]uint64, 8)
+		for i := range lines {
+			lines[i] = rng.Uint64() &^ 63
+		}
+		// Dedup (collisions would shrink the working set, which is fine).
+		for pass := 0; pass < 50; pass++ {
+			a := lines[rng.Intn(len(lines))]
+			r := c.Access(a, rng.Intn(2) == 0)
+			if pass >= len(lines)*2 && r.Eviction {
+				// After warm-up, no evictions may occur.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hits+misses == accesses, and evictions <= misses.
+func TestStatsConsistency(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%2000) + 1
+		rng := sim.NewRand(seed)
+		c := New(Config{Name: "t", SizeBytes: 16 << 10, Ways: 4, LineBytes: 64})
+		for i := 0; i < n; i++ {
+			c.Access(rng.Uint64()%uint64(1<<20), rng.Intn(2) == 0)
+		}
+		s := c.Stats()
+		return s.Hits+s.Misses == uint64(n) && s.Evictions <= s.Misses && s.Writebacks <= s.Evictions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	m := NewMSHR(4)
+	primary, ok := m.Allocate(0x40)
+	if !primary || !ok {
+		t.Fatal("first allocation should be primary")
+	}
+	primary, ok = m.Allocate(0x40)
+	if primary || !ok {
+		t.Fatal("second allocation should merge")
+	}
+	if n := m.Complete(0x40); n != 2 {
+		t.Fatalf("Complete = %d, want 2 merged requesters", n)
+	}
+	if m.Len() != 0 {
+		t.Fatal("entry not retired")
+	}
+}
+
+func TestMSHRCapacity(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(1)
+	m.Allocate(2)
+	if _, ok := m.Allocate(3); ok {
+		t.Fatal("allocation beyond capacity succeeded")
+	}
+	if m.FullStalls != 1 {
+		t.Fatalf("FullStalls = %d, want 1", m.FullStalls)
+	}
+	// Merging onto existing entries still works at capacity.
+	if primary, ok := m.Allocate(1); primary || !ok {
+		t.Fatal("merge at capacity failed")
+	}
+	m.Complete(1)
+	if _, ok := m.Allocate(3); !ok {
+		t.Fatal("allocation after retire failed")
+	}
+}
+
+func TestMSHRCompleteAbsentPanics(t *testing.T) {
+	m := NewMSHR(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("completing absent line did not panic")
+		}
+	}()
+	m.Complete(0x99)
+}
+
+func TestMSHRLookup(t *testing.T) {
+	m := NewMSHR(2)
+	if m.Lookup(5) {
+		t.Fatal("lookup on empty file")
+	}
+	m.Allocate(5)
+	if !m.Lookup(5) {
+		t.Fatal("lookup missed outstanding line")
+	}
+	if m.Cap() != 2 {
+		t.Fatal("Cap wrong")
+	}
+}

@@ -1,0 +1,200 @@
+// Package config defines the five simulated system configurations of
+// Section 4 (XBar/OCM, HMesh/OCM, LMesh/OCM, HMesh/ECM, LMesh/ECM) and
+// reproduces the paper's configuration tables (Tables 1, 3, and 4).
+package config
+
+import (
+	"fmt"
+
+	"corona/internal/memory"
+	"corona/internal/mesh"
+	"corona/internal/splash"
+	"corona/internal/stats"
+	"corona/internal/traffic"
+	"corona/internal/xbar"
+)
+
+// NetworkKind selects the on-stack interconnect.
+type NetworkKind uint8
+
+// On-stack interconnect options (Section 4).
+const (
+	XBar NetworkKind = iota
+	HMesh
+	LMesh
+)
+
+// String names the network.
+func (n NetworkKind) String() string {
+	switch n {
+	case XBar:
+		return "XBar"
+	case HMesh:
+		return "HMesh"
+	case LMesh:
+		return "LMesh"
+	default:
+		return fmt.Sprintf("net(%d)", uint8(n))
+	}
+}
+
+// MemoryKind selects the off-stack memory interconnect.
+type MemoryKind uint8
+
+// Memory interconnect options (Section 4).
+const (
+	OCM MemoryKind = iota
+	ECM
+)
+
+// String names the memory system.
+func (m MemoryKind) String() string {
+	switch m {
+	case OCM:
+		return "OCM"
+	case ECM:
+		return "ECM"
+	default:
+		return fmt.Sprintf("mem(%d)", uint8(m))
+	}
+}
+
+// System is one simulated configuration.
+type System struct {
+	Net NetworkKind
+	Mem MemoryKind
+	// Clusters is the cluster count (64).
+	Clusters int
+	// MSHRs bounds outstanding misses per cluster hub.
+	MSHRs int
+	// HubLatency is the hub's internal routing latency in cycles, paid by
+	// cluster-local transactions in lieu of the network.
+	HubLatency int
+
+	// Optional overrides for ablation studies; nil selects the published
+	// parameters.
+	XBarOverride *xbar.Config
+	MeshOverride *mesh.Config
+	MemOverride  *memory.Config
+}
+
+// Name returns the paper's configuration label, e.g. "XBar/OCM".
+func (s System) Name() string { return s.Net.String() + "/" + s.Mem.String() }
+
+// Default fills in the common structural parameters.
+func Default(net NetworkKind, mem MemoryKind) System {
+	return System{Net: net, Mem: mem, Clusters: 64, MSHRs: 64, HubLatency: 4}
+}
+
+// Corona returns the flagship XBar/OCM configuration.
+func Corona() System { return Default(XBar, OCM) }
+
+// Combos returns the five simulated configurations in the paper's
+// baseline-first order (Figure 8's legend order).
+func Combos() []System {
+	return []System{
+		Default(LMesh, ECM),
+		Default(HMesh, ECM),
+		Default(LMesh, OCM),
+		Default(HMesh, OCM),
+		Default(XBar, OCM),
+	}
+}
+
+// MeshConfig returns the mesh parameters for a mesh-based System; it panics
+// for the crossbar.
+func (s System) MeshConfig() mesh.Config {
+	if s.Net != HMesh && s.Net != LMesh {
+		panic("config: " + s.Name() + " has no mesh")
+	}
+	if s.MeshOverride != nil {
+		return *s.MeshOverride
+	}
+	if s.Net == HMesh {
+		return mesh.HMeshConfig()
+	}
+	return mesh.LMeshConfig()
+}
+
+// XBarConfig returns the crossbar parameters; it panics for meshes.
+func (s System) XBarConfig() xbar.Config {
+	if s.Net != XBar {
+		panic("config: " + s.Name() + " has no crossbar")
+	}
+	if s.XBarOverride != nil {
+		return *s.XBarOverride
+	}
+	return xbar.DefaultConfig()
+}
+
+// MemConfig returns the per-controller memory configuration.
+func (s System) MemConfig() memory.Config {
+	if s.MemOverride != nil {
+		return *s.MemOverride
+	}
+	if s.Mem == OCM {
+		return memory.OCMConfig()
+	}
+	return memory.ECMConfig()
+}
+
+// Table1 reproduces the paper's resource configuration table.
+func Table1() *stats.Table {
+	t := stats.NewTable("Resource", "Value")
+	rows := [][2]string{
+		{"Number of clusters", "64"},
+		{"Per-Cluster:", ""},
+		{"  L2 cache size/assoc", "4 MB/16-way"},
+		{"  L2 cache line size", "64 B"},
+		{"  L2 coherence", "MOESI"},
+		{"  Memory controllers", "1"},
+		{"  Cores", "4"},
+		{"Per-Core:", ""},
+		{"  L1 ICache size/assoc", "16 KB/4-way"},
+		{"  L1 DCache size/assoc", "32 KB/4-way"},
+		{"  L1 I & D cache line size", "64 B"},
+		{"  Frequency", "5 GHz"},
+		{"  Threads", "4"},
+		{"  Issue policy", "In-order"},
+		{"  Issue width", "2"},
+		{"  64 b floating point SIMD width", "4"},
+		{"  Fused floating point operations", "Multiply-Add"},
+	}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1])
+	}
+	return t
+}
+
+// Table3 reproduces the benchmark setup table.
+func Table3() *stats.Table {
+	t := stats.NewTable("Benchmark", "Data Set (Default)", "Network Requests")
+	for _, s := range traffic.Synthetic() {
+		t.AddRow(s.Name, "-", fmt.Sprintf("%d M", s.DefaultRequests/1_000_000))
+	}
+	for _, a := range splash.Apps() {
+		t.AddRow(a.Spec.Name,
+			fmt.Sprintf("%s (%s)", a.Dataset, a.DefaultDataset),
+			formatMillions(a.Spec.DefaultRequests))
+	}
+	return t
+}
+
+func formatMillions(n int) string {
+	return fmt.Sprintf("%.1f M", float64(n)/1e6)
+}
+
+// Table4 reproduces the optical-vs-electrical memory interconnect table.
+func Table4() *stats.Table {
+	ocm, ecm := memory.OCMConfig(), memory.ECMConfig()
+	t := stats.NewTable("Resource", "OCM", "ECM")
+	t.AddRow("Memory controllers", "64", "64")
+	t.AddRow("External connectivity", "256 fibers", "1536 pins")
+	t.AddRow("Channel width", "128 b half duplex", "12 b full duplex")
+	t.AddRow("Channel data rate", "10 Gb/s", "10 Gb/s")
+	t.AddRow("Memory bandwidth",
+		fmt.Sprintf("%.2f TB/s", ocm.AggregateBytesPerSec(64)/1e12),
+		fmt.Sprintf("%.2f TB/s", ecm.AggregateBytesPerSec(64)/1e12))
+	t.AddRow("Memory latency", "20 ns", "20 ns")
+	return t
+}

@@ -1,0 +1,111 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFiveCombos(t *testing.T) {
+	combos := Combos()
+	if len(combos) != 5 {
+		t.Fatalf("combos = %d, want 5", len(combos))
+	}
+	names := make([]string, len(combos))
+	for i, c := range combos {
+		names[i] = c.Name()
+	}
+	want := []string{"LMesh/ECM", "HMesh/ECM", "LMesh/OCM", "HMesh/OCM", "XBar/OCM"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("combos = %v, want %v", names, want)
+		}
+	}
+	if names[0] != "LMesh/ECM" {
+		t.Error("the baseline (speedup = 1) must come first")
+	}
+}
+
+func TestCoronaIsXBarOCM(t *testing.T) {
+	c := Corona()
+	if c.Name() != "XBar/OCM" {
+		t.Fatalf("Corona() = %s", c.Name())
+	}
+	if c.Clusters != 64 || c.MSHRs <= 0 || c.HubLatency <= 0 {
+		t.Errorf("Corona defaults incomplete: %+v", c)
+	}
+}
+
+func TestSubConfigAccessors(t *testing.T) {
+	if Default(HMesh, ECM).MeshConfig().Name != "hmesh" {
+		t.Error("HMesh config wrong")
+	}
+	if Default(LMesh, ECM).MeshConfig().Name != "lmesh" {
+		t.Error("LMesh config wrong")
+	}
+	if Corona().XBarConfig().Clusters != 64 {
+		t.Error("XBar config wrong")
+	}
+	if Default(HMesh, OCM).MemConfig().Name != "ocm" {
+		t.Error("OCM config wrong")
+	}
+	if Default(HMesh, ECM).MemConfig().Name != "ecm" {
+		t.Error("ECM config wrong")
+	}
+}
+
+func TestMeshConfigPanicsForXBar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MeshConfig on XBar did not panic")
+		}
+	}()
+	Corona().MeshConfig()
+}
+
+func TestXBarConfigPanicsForMesh(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("XBarConfig on mesh did not panic")
+		}
+	}()
+	Default(HMesh, OCM).XBarConfig()
+}
+
+func TestTable1Contents(t *testing.T) {
+	s := Table1().String()
+	for _, want := range []string{"64", "MOESI", "4 MB/16-way", "5 GHz", "In-order", "Multiply-Add"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable3Contents(t *testing.T) {
+	s := Table3().String()
+	for _, want := range []string{"Uniform", "Hot Spot", "Barnes", "Water-Sp", "tk29.O", "240.0 M"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 3 missing %q", want)
+		}
+	}
+}
+
+func TestTable4Contents(t *testing.T) {
+	s := Table4().String()
+	for _, want := range []string{"256 fibers", "1536 pins", "10.24 TB/s", "0.96 TB/s", "20 ns", "128 b half duplex"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 4 missing %q", want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if XBar.String() != "XBar" || HMesh.String() != "HMesh" || LMesh.String() != "LMesh" {
+		t.Error("network names wrong")
+	}
+	if OCM.String() != "OCM" || ECM.String() != "ECM" {
+		t.Error("memory names wrong")
+	}
+	if !strings.HasPrefix(NetworkKind(9).String(), "net(") || !strings.HasPrefix(MemoryKind(9).String(), "mem(") {
+		t.Error("unknown kinds should format numerically")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"corona/internal/config"
+	"corona/internal/splash"
+	"corona/internal/stats"
+	"corona/internal/traffic"
+)
+
+// Sweep runs every workload on every configuration — the full experiment
+// matrix behind Figures 8, 9, 10, and 11.
+type Sweep struct {
+	Configs   []config.System
+	Workloads []traffic.Spec
+	// Requests per run (the paper's Table 3 counts are scaled down by the
+	// caller for tractable wall-clock time; shapes are stable well below the
+	// paper's 10^6).
+	Requests int
+	Seed     uint64
+
+	// Results[w][c] is the run of Workloads[w] on Configs[c].
+	Results [][]Result
+}
+
+// AllWorkloads returns the paper's 15 workloads: 4 synthetics then 11
+// SPLASH-2 models, in figure order.
+func AllWorkloads() []traffic.Spec {
+	specs := traffic.Synthetic()
+	specs = append(specs, splash.Specs()...)
+	return specs
+}
+
+// NewSweep prepares the full 5-configuration x 15-workload matrix.
+func NewSweep(requests int, seed uint64) *Sweep {
+	return &Sweep{
+		Configs:   config.Combos(),
+		Workloads: AllWorkloads(),
+		Requests:  requests,
+		Seed:      seed,
+	}
+}
+
+// Run executes the matrix. Progress, if non-nil, is called before each run.
+func (s *Sweep) Run(progress func(workload, cfg string)) {
+	s.Results = make([][]Result, len(s.Workloads))
+	for w, spec := range s.Workloads {
+		s.Results[w] = make([]Result, len(s.Configs))
+		for c, cfg := range s.Configs {
+			if progress != nil {
+				progress(spec.Name, cfg.Name())
+			}
+			s.Results[w][c] = Run(cfg, spec, s.Requests, s.Seed)
+		}
+	}
+}
+
+// baselineIndex locates LMesh/ECM, the speedup-1 reference.
+func (s *Sweep) baselineIndex() int {
+	for i, c := range s.Configs {
+		if c.Name() == "LMesh/ECM" {
+			return i
+		}
+	}
+	return 0
+}
+
+func (s *Sweep) header() []string {
+	h := []string{"Benchmark"}
+	for _, c := range s.Configs {
+		h = append(h, c.Name())
+	}
+	return h
+}
+
+func (s *Sweep) table(cell func(Result, Result) string) *stats.Table {
+	t := stats.NewTable(s.header()...)
+	base := s.baselineIndex()
+	for w := range s.Workloads {
+		row := []string{s.Workloads[w].Name}
+		for c := range s.Configs {
+			row = append(row, cell(s.Results[w][c], s.Results[w][base]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Figure8 renders normalized speedup over LMesh/ECM.
+func (s *Sweep) Figure8() *stats.Table {
+	return s.table(func(r, base Result) string {
+		return fmt.Sprintf("%.2f", r.Speedup(base))
+	})
+}
+
+// Figure9 renders achieved memory bandwidth in TB/s.
+func (s *Sweep) Figure9() *stats.Table {
+	return s.table(func(r, _ Result) string {
+		return fmt.Sprintf("%.2f", r.AchievedTBs)
+	})
+}
+
+// Figure10 renders average L2 miss latency in ns.
+func (s *Sweep) Figure10() *stats.Table {
+	return s.table(func(r, _ Result) string {
+		return fmt.Sprintf("%.0f", r.MeanLatencyNs)
+	})
+}
+
+// Figure11 renders on-chip network power in watts.
+func (s *Sweep) Figure11() *stats.Table {
+	return s.table(func(r, _ Result) string {
+		return fmt.Sprintf("%.1f", r.NetworkPowerW)
+	})
+}
+
+// Speedups returns the per-workload speedups of configuration c over the
+// baseline, in workload order.
+func (s *Sweep) Speedups(c int) []float64 {
+	base := s.baselineIndex()
+	out := make([]float64, len(s.Workloads))
+	for w := range s.Workloads {
+		out[w] = s.Results[w][c].Speedup(s.Results[w][base])
+	}
+	return out
+}
+
+// configIndex finds a configuration by name, or -1.
+func (s *Sweep) configIndex(name string) int {
+	for i, c := range s.Configs {
+		if c.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// GeoMeanSummary computes the paper's two headline geometric means over a
+// workload index range [lo, hi): the OCM-over-ECM gain on an HMesh, and the
+// further crossbar-over-HMesh gain on OCM. The paper reports 3.28 and 2.36
+// for the synthetics ([0,4)) and 1.80 and 1.44 for SPLASH-2 ([4,15)).
+func (s *Sweep) GeoMeanSummary(lo, hi int) (ocmOverEcm, xbarOverHMesh float64) {
+	he := s.configIndex("HMesh/ECM")
+	ho := s.configIndex("HMesh/OCM")
+	xo := s.configIndex("XBar/OCM")
+	if he < 0 || ho < 0 || xo < 0 {
+		return 0, 0
+	}
+	var a, b []float64
+	for w := lo; w < hi && w < len(s.Workloads); w++ {
+		a = append(a, s.Results[w][ho].Speedup(s.Results[w][he]))
+		b = append(b, s.Results[w][xo].Speedup(s.Results[w][ho]))
+	}
+	return stats.GeoMean(a), stats.GeoMean(b)
+}

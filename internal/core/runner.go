@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"corona/internal/config"
+	"corona/internal/mesh"
+	"corona/internal/power"
+	"corona/internal/sim"
+	"corona/internal/trace"
+	"corona/internal/traffic"
+	"corona/internal/xbar"
+)
+
+// Result is the outcome of one (configuration, workload) simulation — one
+// bar in each of Figures 8-11.
+type Result struct {
+	Config   string
+	Workload string
+	Requests int
+
+	// Cycles is the simulated runtime; Figure 8 normalizes its inverse.
+	Cycles sim.Time
+	// AchievedTBs is Figure 9's rate of communication with main memory.
+	AchievedTBs float64
+	// MeanLatencyNs and P99LatencyNs report Figure 10's L2 miss latency.
+	MeanLatencyNs float64
+	P99LatencyNs  float64
+	// NetworkPowerW is Figure 11's on-chip network power; MemoryPowerW is
+	// the off-stack memory interconnect power.
+	NetworkPowerW float64
+	MemoryPowerW  float64
+
+	// Diagnostics.
+	NetMessages   uint64
+	NetBytes      uint64
+	HopTraversals uint64
+	XBarUtil      float64
+}
+
+// Speedup returns other's runtime divided by r's (how much faster r is).
+func (r Result) Speedup(baseline Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(r.Cycles)
+}
+
+// Source produces per-cluster miss streams; traffic.Generator is the
+// synthetic implementation, and traceSource replays recorded traces.
+type Source interface {
+	Next(cluster int) trace.Record
+}
+
+// Runner replays a workload against a System until a fixed number of network
+// requests (L2 misses) completes, as the paper does ("We ran each simulation
+// for a predetermined number of network requests").
+type Runner struct {
+	sys      *System
+	src      Source
+	name     string
+	requests int
+
+	perCluster []int // remaining issues per cluster
+	pending    []*trace.Record
+	waiting    []bool // a timed wake-up is scheduled
+}
+
+// NewRunner builds a runner issuing `requests` synthetic misses split evenly
+// across clusters.
+func NewRunner(sys *System, spec traffic.Spec, requests int, seed uint64) *Runner {
+	r := newRunner(sys, traffic.NewGenerator(spec, sys.Cfg.Clusters, seed), spec.Name, requests)
+	base := requests / sys.Cfg.Clusters
+	extra := requests % sys.Cfg.Clusters
+	for c := range r.perCluster {
+		r.perCluster[c] = base
+		if c < extra {
+			r.perCluster[c]++
+		}
+	}
+	return r
+}
+
+func newRunner(sys *System, src Source, name string, requests int) *Runner {
+	r := &Runner{
+		sys:        sys,
+		src:        src,
+		name:       name,
+		requests:   requests,
+		perCluster: make([]int, sys.Cfg.Clusters),
+		pending:    make([]*trace.Record, sys.Cfg.Clusters),
+		waiting:    make([]bool, sys.Cfg.Clusters),
+	}
+	sys.SetMSHRFreeHook(func(cluster int) { r.pump(cluster) })
+	return r
+}
+
+// traceSource replays pre-recorded, per-cluster bucketed records.
+type traceSource struct {
+	buckets [][]trace.Record
+}
+
+func (t *traceSource) Next(cluster int) trace.Record {
+	rec := t.buckets[cluster][0]
+	t.buckets[cluster] = t.buckets[cluster][1:]
+	return rec
+}
+
+// NewTraceRunner builds a runner that replays recs (annotated L2 misses,
+// e.g. from a trace file or the cluster trace engine) on sys. Records are
+// assigned to clusters by thread id with threadsPerCluster threads each, and
+// must be per-cluster time-monotone.
+func NewTraceRunner(sys *System, recs []trace.Record, threadsPerCluster int) *Runner {
+	buckets := make([][]trace.Record, sys.Cfg.Clusters)
+	for _, rec := range recs {
+		c := rec.Cluster(threadsPerCluster)
+		if c < 0 || c >= sys.Cfg.Clusters {
+			panic(fmt.Sprintf("core: trace thread %d maps to cluster %d, out of range", rec.Thread, c))
+		}
+		buckets[c] = append(buckets[c], rec)
+	}
+	r := newRunner(sys, &traceSource{buckets: buckets}, "trace", len(recs))
+	for c := range r.perCluster {
+		r.perCluster[c] = len(buckets[c])
+	}
+	return r
+}
+
+// pump issues as many of cluster's trace records as timestamps and MSHR
+// capacity allow.
+func (r *Runner) pump(cluster int) {
+	for r.perCluster[cluster] > 0 {
+		rec := r.pending[cluster]
+		if rec == nil {
+			next := r.src.Next(cluster)
+			rec = &next
+			r.pending[cluster] = rec
+		}
+		if rec.Time > r.sys.K.Now() {
+			if !r.waiting[cluster] {
+				r.waiting[cluster] = true
+				r.sys.K.At(rec.Time, func() {
+					r.waiting[cluster] = false
+					r.pump(cluster)
+				})
+			}
+			return
+		}
+		if !r.sys.Issue(cluster, rec.Addr, rec.Write) {
+			return // MSHR full; the free hook re-pumps
+		}
+		r.pending[cluster] = nil
+		r.perCluster[cluster]--
+	}
+}
+
+// Run executes the replay to completion and returns the Result. It panics on
+// deadlock (event queue empty before all requests retire), which would
+// indicate a protocol bug.
+func (r *Runner) Run() Result {
+	for c := 0; c < r.sys.Cfg.Clusters; c++ {
+		r.pump(c)
+	}
+	for r.sys.Completed() < r.requests {
+		if !r.sys.K.Step() {
+			panic(fmt.Sprintf("core: deadlock with %d of %d requests completed",
+				r.sys.Completed(), r.requests))
+		}
+	}
+	return r.collect()
+}
+
+func (r *Runner) collect() Result {
+	sys := r.sys
+	elapsed := sys.K.Now()
+	ns := sys.NetworkStats()
+	res := Result{
+		Config:        sys.Cfg.Name(),
+		Workload:      r.name,
+		Requests:      r.requests,
+		Cycles:        elapsed,
+		MeanLatencyNs: sys.Latency.Mean(),
+		P99LatencyNs:  sys.Latency.Percentile(99),
+		NetMessages:   ns.Messages,
+		NetBytes:      ns.Bytes,
+		HopTraversals: ns.HopTraversals,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.AchievedTBs = float64(sys.WireBytes) / sec / 1e12
+	}
+	switch n := sys.Net.(type) {
+	case *xbar.Crossbar:
+		res.NetworkPowerW = power.XBarContinuousW
+		res.XBarUtil = n.Utilization(elapsed)
+	case *mesh.Mesh:
+		res.NetworkPowerW = power.MeshDynamicW(ns.HopTraversals, elapsed)
+	}
+	memBytes := sys.MemoryBytesMoved()
+	if sys.Cfg.Mem == config.OCM {
+		res.MemoryPowerW = power.OCMInterconnectW(memBytes, elapsed)
+	} else {
+		res.MemoryPowerW = power.ECMInterconnectW(memBytes, elapsed)
+	}
+	return res
+}
+
+// Run is the one-call convenience: build a system for cfg, replay spec for
+// `requests` misses with the given seed, and return the Result.
+func Run(cfg config.System, spec traffic.Spec, requests int, seed uint64) Result {
+	sys := NewSystem(cfg)
+	return NewRunner(sys, spec, requests, seed).Run()
+}

@@ -1,0 +1,297 @@
+// Package core assembles the full Corona system model — 64 cluster hubs, an
+// on-stack interconnect (optical crossbar or electrical mesh), and 64 memory
+// controllers with their off-stack links — and drives the trace-replay
+// experiments that reproduce the paper's evaluation (Figures 8-11).
+//
+// The hub mirrors Figure 2(b): it routes each L2 miss between the cluster,
+// the network interface, and the memory controller, holding it in a finite
+// MSHR file and exerting back pressure when any stage (MSHRs, injection
+// queues, receive buffers, controller queues) fills — the modelling detail
+// the paper calls out ("finite buffers, queues, and ports ... bandwidth,
+// latency, back pressure, and capacity limits").
+package core
+
+import (
+	"fmt"
+
+	"corona/internal/cache"
+	"corona/internal/config"
+	"corona/internal/memory"
+	"corona/internal/mesh"
+	"corona/internal/noc"
+	"corona/internal/sim"
+	"corona/internal/stats"
+	"corona/internal/traffic"
+	"corona/internal/xbar"
+)
+
+// txn is one in-flight L2 miss transaction.
+type txn struct {
+	id      uint64
+	cluster int
+	home    int
+	line    uint64
+	write   bool
+	issue   sim.Time
+}
+
+// System is a fully assembled simulated machine.
+type System struct {
+	K   *sim.Kernel
+	Cfg config.System
+	Net noc.Network
+	MCs []*memory.Controller
+
+	hubs []*hub
+
+	// Latency is the end-to-end L2 miss latency histogram in nanoseconds
+	// (Figure 10's metric: queueing plus transit).
+	Latency *stats.Histogram
+	// WireBytes counts memory-transaction bytes for Figure 9's achieved
+	// bandwidth.
+	WireBytes uint64
+
+	completed int
+	nextID    uint64
+
+	// onMSHRFree, when set, is called with the cluster id whenever that
+	// cluster retires a transaction; the runner uses it to resume issue.
+	onMSHRFree func(cluster int)
+}
+
+// hub is one cluster's message router (Figure 2b).
+type hub struct {
+	sys  *System
+	id   int
+	mshr *cache.MSHR
+	// outq holds messages awaiting network injection, per destination, with
+	// one retry timer per destination (outArmed) — unbounded here because
+	// the MSHR file already bounds the cluster's outstanding work.
+	outq     [][]*noc.Message
+	outArmed []bool
+}
+
+// NewSystem builds a machine per cfg.
+func NewSystem(cfg config.System) *System {
+	k := sim.NewKernel()
+	s := &System{
+		K:       k,
+		Cfg:     cfg,
+		MCs:     make([]*memory.Controller, cfg.Clusters),
+		hubs:    make([]*hub, cfg.Clusters),
+		Latency: stats.NewHistogram(1 << 17),
+	}
+	switch cfg.Net {
+	case config.XBar:
+		s.Net = xbar.New(k, cfg.XBarConfig())
+	default:
+		s.Net = mesh.New(k, cfg.MeshConfig())
+	}
+	if s.Net.Clusters() != cfg.Clusters {
+		panic(fmt.Sprintf("core: network has %d endpoints, config %d", s.Net.Clusters(), cfg.Clusters))
+	}
+	mcfg := cfg.MemConfig()
+	for c := 0; c < cfg.Clusters; c++ {
+		s.MCs[c] = memory.NewController(k, mcfg, c)
+		h := &hub{
+			sys: s, id: c, mshr: cache.NewMSHR(cfg.MSHRs),
+			outq:     make([][]*noc.Message, cfg.Clusters),
+			outArmed: make([]bool, cfg.Clusters),
+		}
+		s.hubs[c] = h
+		s.Net.SetDeliver(c, h.deliver)
+	}
+	return s
+}
+
+// Completed returns the number of retired transactions.
+func (s *System) Completed() int { return s.completed }
+
+// SetMSHRFreeHook installs the runner's issue-resume callback.
+func (s *System) SetMSHRFreeHook(fn func(cluster int)) { s.onMSHRFree = fn }
+
+// MSHRFree reports whether cluster can accept another miss.
+func (s *System) MSHRFree(cluster int) bool {
+	h := s.hubs[cluster]
+	return h.mshr.Len() < h.mshr.Cap()
+}
+
+// Issue injects one L2 miss at the current simulation time. It returns false
+// when the cluster's MSHR file is full (the caller must retry after a
+// retirement). Merged secondary misses return true without generating
+// network traffic, exactly like hardware MSHRs.
+func (s *System) Issue(cluster int, addr uint64, write bool) bool {
+	h := s.hubs[cluster]
+	line := addr / noc.LineBytes
+	primary, ok := h.mshr.Allocate(line)
+	if !ok {
+		return false
+	}
+	if !primary {
+		return true // merged onto an outstanding miss
+	}
+	s.nextID++
+	t := &txn{
+		id:      s.nextID,
+		cluster: cluster,
+		home:    traffic.HomeOf(addr, s.Cfg.Clusters),
+		line:    line,
+		write:   write,
+		issue:   s.K.Now(),
+	}
+	if t.home == cluster {
+		// Local transaction: hub -> MC directly, no network.
+		s.K.Schedule(sim.Time(s.Cfg.HubLatency), func() { s.hubs[cluster].submitLocal(t) })
+		return true
+	}
+	h.send(reqMsg(t))
+	return true
+}
+
+// reqMsg builds the outbound request message for a transaction.
+func reqMsg(t *txn) *noc.Message {
+	m := &noc.Message{
+		ID: t.id, Src: t.cluster, Dst: t.home,
+		Kind: noc.KindRequest, Size: noc.RequestBytes,
+		Payload: t,
+	}
+	if t.write {
+		m.Kind = noc.KindWriteback
+		m.Size = noc.WritebackBytes
+	}
+	return m
+}
+
+// send queues m for injection and drives the per-destination pump.
+func (h *hub) send(m *noc.Message) {
+	h.outq[m.Dst] = append(h.outq[m.Dst], m)
+	h.pumpOut(m.Dst)
+}
+
+// pumpOut injects as many queued messages for dst as the network accepts,
+// then arms a single retry timer on back pressure.
+func (h *hub) pumpOut(dst int) {
+	for len(h.outq[dst]) > 0 {
+		if !h.sys.Net.Send(h.outq[dst][0]) {
+			if !h.outArmed[dst] {
+				h.outArmed[dst] = true
+				h.sys.K.Schedule(2, func() {
+					h.outArmed[dst] = false
+					h.pumpOut(dst)
+				})
+			}
+			return
+		}
+		h.outq[dst] = h.outq[dst][1:]
+	}
+}
+
+// deliver handles a network arrival at this hub.
+func (h *hub) deliver(m *noc.Message) {
+	t := m.Payload.(*txn)
+	switch m.Kind {
+	case noc.KindRequest, noc.KindWriteback:
+		h.submitRemote(t, m)
+	case noc.KindResponse:
+		h.sys.Net.Consume(h.id, m)
+		h.sys.retire(t)
+	default:
+		panic(fmt.Sprintf("core: hub %d received unexpected %v", h.id, m.Kind))
+	}
+}
+
+// submitRemote pushes a delivered request into the local memory controller,
+// holding the network receive-buffer credit until the controller accepts —
+// that is how controller congestion back-pressures the interconnect.
+func (h *hub) submitRemote(t *txn, m *noc.Message) {
+	if h.trySubmit(t, func() { h.respond(t) }) {
+		h.sys.Net.Consume(h.id, m)
+		return
+	}
+	h.sys.MCs[h.id].NotifySpace(func() { h.submitRemote(t, m) })
+}
+
+// submitLocal pushes a cluster-local request into the MC, retrying while the
+// queue is full.
+func (h *hub) submitLocal(t *txn) {
+	done := func() {
+		// Response crosses only the hub, not the network.
+		h.sys.K.Schedule(sim.Time(h.sys.Cfg.HubLatency), func() { h.sys.retire(t) })
+	}
+	if h.trySubmit(t, done) {
+		return
+	}
+	h.sys.MCs[h.id].NotifySpace(func() { h.submitLocal(t) })
+}
+
+func (h *hub) trySubmit(t *txn, done func()) bool {
+	req := &memory.Request{
+		ID:    t.id,
+		Addr:  t.line * noc.LineBytes,
+		Write: t.write,
+		Done:  done,
+	}
+	if t.write {
+		req.ReqBytes = noc.WritebackBytes
+		req.RspBytes = 0
+	} else {
+		req.ReqBytes = noc.RequestBytes
+		req.RspBytes = noc.ResponseBytes
+	}
+	return h.sys.MCs[h.id].Submit(req)
+}
+
+// respond sends the completion back to the requester (full line for reads, a
+// small ack for writebacks).
+func (h *hub) respond(t *txn) {
+	m := &noc.Message{
+		ID: t.id, Src: h.id, Dst: t.cluster,
+		Kind: noc.KindResponse, Size: noc.ResponseBytes,
+		Payload: t,
+	}
+	if t.write {
+		m.Size = noc.RequestBytes // write ack
+	}
+	h.send(m)
+}
+
+// retire completes a transaction at its requesting cluster: MSHR entry (and
+// all merged requesters) release, latency accounting, issue-resume hook.
+func (s *System) retire(t *txn) {
+	h := s.hubs[t.cluster]
+	merged := h.mshr.Complete(t.line)
+	lat := (s.K.Now() - t.issue).Ns()
+	wire := uint64(noc.RequestBytes + noc.ResponseBytes)
+	if t.write {
+		wire = noc.WritebackBytes + noc.RequestBytes
+	}
+	for i := 0; i < merged; i++ {
+		s.Latency.Observe(lat)
+		s.completed++
+	}
+	s.WireBytes += wire
+	if s.onMSHRFree != nil {
+		s.onMSHRFree(t.cluster)
+	}
+}
+
+// NetworkStats returns the interconnect's counters.
+func (s *System) NetworkStats() noc.Stats {
+	switch n := s.Net.(type) {
+	case *xbar.Crossbar:
+		return n.Stats()
+	case *mesh.Mesh:
+		return n.Stats()
+	default:
+		return noc.Stats{}
+	}
+}
+
+// MemoryBytesMoved sums controller traffic.
+func (s *System) MemoryBytesMoved() uint64 {
+	var total uint64
+	for _, mc := range s.MCs {
+		total += mc.BytesMoved
+	}
+	return total
+}

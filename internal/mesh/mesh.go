@@ -1,0 +1,343 @@
+// Package mesh models the electrical 2D mesh baselines of the paper's
+// evaluation (Section 4): HMesh (1.28 TB/s bisection) and LMesh (0.64 TB/s
+// bisection), both with 5 clocks of per-hop latency (forwarding plus signal
+// propagation) and dimension-order wormhole routing [Dally & Seitz].
+//
+// The model is packet-granularity virtual cut-through over per-link FIFOs —
+// the standard fidelity for this kind of system study. A packet of S bytes
+// occupies each link on its path for ceil(S/W) cycles (W = link width in
+// bytes/cycle), its head advances one hop per HopLatency, and finite input
+// buffers exert credit-based back pressure upstream. Requests and responses
+// travel in separate virtual networks (message classes) so that a stalled
+// response never deadlocks against the requests that caused it; the physical
+// link bandwidth is shared round-robin between the classes.
+package mesh
+
+import (
+	"fmt"
+
+	"corona/internal/noc"
+	"corona/internal/sim"
+)
+
+// Config parameterizes a mesh.
+type Config struct {
+	Name          string
+	Width, Height int // routers; clusters = Width*Height
+	BytesPerCycle int // link bandwidth (16 for HMesh, 8 for LMesh)
+	HopLatency    sim.Time
+	LinkBuffer    int // input buffer per link per class, in packets
+	InjectQueue   int // per-cluster injection FIFO depth (per class)
+	RecvBuffer    int // per-cluster ejection buffer (credit pool for the hub)
+}
+
+// HMeshConfig returns the high-performance mesh: 16 B/cycle links give an
+// 8x8 mesh a 1.28 TB/s bisection at 5 GHz.
+func HMeshConfig() Config {
+	return Config{
+		Name: "hmesh", Width: 8, Height: 8,
+		BytesPerCycle: 16, HopLatency: 5,
+		LinkBuffer: 4, InjectQueue: 8, RecvBuffer: 16,
+	}
+}
+
+// LMeshConfig returns the low-performance mesh: half the link width,
+// 0.64 TB/s bisection.
+func LMeshConfig() Config {
+	c := HMeshConfig()
+	c.Name = "lmesh"
+	c.BytesPerCycle = 8
+	return c
+}
+
+// BisectionBytesPerSec returns the mesh bisection bandwidth in bytes/second
+// at 5 GHz (both directions across the vertical cut).
+func (c Config) BisectionBytesPerSec() float64 {
+	links := 2 * c.Height // both directions across the cut
+	return float64(links*c.BytesPerCycle) * 5e9
+}
+
+// dir indexes a router's output ports.
+type dir uint8
+
+const (
+	dirEast dir = iota
+	dirWest
+	dirNorth
+	dirSouth
+	dirEject
+	numDirs
+)
+
+const numClasses = 2 // virtual networks: 0 = request-like, 1 = response-like
+
+// classOf maps message kinds onto virtual networks.
+func classOf(k noc.Kind) int {
+	switch k {
+	case noc.KindResponse, noc.KindInvalidateAck:
+		return 1
+	default:
+		return 0
+	}
+}
+
+type packet struct {
+	m     *noc.Message
+	path  []portRef
+	stage int
+	class int
+}
+
+type portRef struct {
+	router int
+	d      dir
+}
+
+type outPort struct {
+	busyUntil sim.Time
+	wakeAt    sim.Time // earliest pending wake event, to dedupe
+	wakeSet   bool
+	q         [numClasses][]*packet
+	credits   [numClasses]int
+	rr        int
+}
+
+// Mesh implements noc.Network.
+type Mesh struct {
+	k   *sim.Kernel
+	cfg Config
+	n   int
+
+	ports   [][]outPort // [router][dir]
+	deliver []noc.DeliverFunc
+	// injectCount tracks stage-0 packets per cluster per class against
+	// InjectQueue.
+	injectCount [][]int
+
+	stats noc.Stats
+	// LinkBusyCycles accumulates occupancy across all links for utilization.
+	LinkBusyCycles uint64
+}
+
+var _ noc.Network = (*Mesh)(nil)
+
+// New builds a mesh on kernel k.
+func New(k *sim.Kernel, cfg Config) *Mesh {
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.BytesPerCycle <= 0 ||
+		cfg.LinkBuffer <= 0 || cfg.InjectQueue <= 0 || cfg.RecvBuffer <= 0 {
+		panic(fmt.Sprintf("mesh: invalid config %+v", cfg))
+	}
+	n := cfg.Width * cfg.Height
+	m := &Mesh{
+		k: k, cfg: cfg, n: n,
+		ports:       make([][]outPort, n),
+		deliver:     make([]noc.DeliverFunc, n),
+		injectCount: make([][]int, n),
+	}
+	for r := 0; r < n; r++ {
+		m.ports[r] = make([]outPort, numDirs)
+		m.injectCount[r] = make([]int, numClasses)
+		for d := dir(0); d < numDirs; d++ {
+			for c := 0; c < numClasses; c++ {
+				if d == dirEject {
+					// Eject credits are shared across classes through the
+					// hub's receive buffer; split the pool evenly.
+					m.ports[r][d].credits[c] = cfg.RecvBuffer / numClasses
+				} else {
+					m.ports[r][d].credits[c] = cfg.LinkBuffer
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Name implements noc.Network.
+func (m *Mesh) Name() string { return m.cfg.Name }
+
+// Clusters implements noc.Network.
+func (m *Mesh) Clusters() int { return m.n }
+
+// Stats returns message/byte/hop counters.
+func (m *Mesh) Stats() noc.Stats { return m.stats }
+
+// SetDeliver implements noc.Network.
+func (m *Mesh) SetDeliver(cluster int, fn noc.DeliverFunc) { m.deliver[cluster] = fn }
+
+func (m *Mesh) xy(r int) (int, int) { return r % m.cfg.Width, r / m.cfg.Width }
+func (m *Mesh) id(x, y int) int     { return y*m.cfg.Width + x }
+
+// route computes the dimension-order (X then Y) path: one output port per
+// hop plus the final ejection port.
+func (m *Mesh) route(src, dst int) []portRef {
+	x, y := m.xy(src)
+	dx, dy := m.xy(dst)
+	path := make([]portRef, 0, abs(dx-x)+abs(dy-y)+1)
+	for x != dx {
+		if x < dx {
+			path = append(path, portRef{m.id(x, y), dirEast})
+			x++
+		} else {
+			path = append(path, portRef{m.id(x, y), dirWest})
+			x--
+		}
+	}
+	for y != dy {
+		if y < dy {
+			path = append(path, portRef{m.id(x, y), dirSouth})
+			y++
+		} else {
+			path = append(path, portRef{m.id(x, y), dirNorth})
+			y--
+		}
+	}
+	path = append(path, portRef{dst, dirEject})
+	return path
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Hops returns the link-traversal count between two clusters (excluding
+// ejection), used by the 196 pJ/hop power model.
+func (m *Mesh) Hops(src, dst int) int {
+	x, y := m.xy(src)
+	dx, dy := m.xy(dst)
+	return abs(dx-x) + abs(dy-y)
+}
+
+// Send implements noc.Network.
+func (m *Mesh) Send(msg *noc.Message) bool {
+	if err := noc.Validate(msg, m.n); err != nil {
+		panic(err)
+	}
+	if msg.Src == msg.Dst {
+		panic(fmt.Sprintf("mesh: message %d is cluster-local (src == dst == %d)", msg.ID, msg.Src))
+	}
+	cl := classOf(msg.Kind)
+	if m.injectCount[msg.Src][cl] >= m.cfg.InjectQueue {
+		return false
+	}
+	msg.Inject = m.k.Now()
+	msg.Hops = m.Hops(msg.Src, msg.Dst)
+	p := &packet{m: msg, path: m.route(msg.Src, msg.Dst), class: cl}
+	m.injectCount[msg.Src][cl]++
+	first := p.path[0]
+	port := &m.ports[first.router][first.d]
+	port.q[cl] = append(port.q[cl], p)
+	m.tryGrant(first)
+	return true
+}
+
+// Consume implements noc.Network: the hub drained msg, freeing its slot in
+// the ejection buffer of msg's virtual network.
+func (m *Mesh) Consume(cluster int, msg *noc.Message) {
+	port := &m.ports[cluster][dirEject]
+	port.credits[classOf(msg.Kind)]++
+	m.tryGrant(portRef{cluster, dirEject})
+}
+
+// serialization returns the link occupancy of a message.
+func (m *Mesh) serialization(size int) sim.Time {
+	return sim.Time((size + m.cfg.BytesPerCycle - 1) / m.cfg.BytesPerCycle)
+}
+
+// tryGrant attempts to start the next eligible packet on a port, observing
+// link occupancy, class round-robin, and downstream credits.
+func (m *Mesh) tryGrant(ref portRef) {
+	port := &m.ports[ref.router][ref.d]
+	now := m.k.Now()
+	if port.busyUntil > now {
+		m.wake(ref, port.busyUntil)
+		return
+	}
+	// Round-robin over classes, skipping empty queues and exhausted credits.
+	for i := 0; i < numClasses; i++ {
+		cl := (port.rr + i) % numClasses
+		if len(port.q[cl]) == 0 || port.credits[cl] == 0 {
+			continue
+		}
+		port.rr = (cl + 1) % numClasses
+		p := port.q[cl][0]
+		port.q[cl] = port.q[cl][1:]
+		m.grant(ref, port, p)
+		return
+	}
+}
+
+// wake schedules a deferred tryGrant, deduplicating redundant wake-ups.
+func (m *Mesh) wake(ref portRef, at sim.Time) {
+	port := &m.ports[ref.router][ref.d]
+	if port.wakeSet && port.wakeAt <= at {
+		return
+	}
+	port.wakeSet = true
+	port.wakeAt = at
+	m.k.At(at, func() {
+		p := &m.ports[ref.router][ref.d]
+		if p.wakeAt == at {
+			p.wakeSet = false
+		}
+		m.tryGrant(ref)
+	})
+}
+
+func (m *Mesh) grant(ref portRef, port *outPort, p *packet) {
+	now := m.k.Now()
+	s := m.serialization(p.m.Size)
+	port.busyUntil = now + s
+	port.credits[p.class]--
+	if ref.d != dirEject {
+		m.LinkBusyCycles += uint64(s)
+	}
+
+	// The upstream input-buffer slot (previous link's credit) frees when the
+	// packet's tail leaves this router.
+	if p.stage > 0 {
+		prev := p.path[p.stage-1]
+		m.k.Schedule(s, func() {
+			m.ports[prev.router][prev.d].credits[p.class]++
+			m.tryGrant(prev)
+		})
+	} else {
+		m.k.Schedule(s, func() {
+			m.injectCount[p.m.Src][p.class]--
+		})
+	}
+
+	if ref.d == dirEject {
+		// Tail reaches the hub after head latency plus serialization.
+		m.k.Schedule(m.cfg.HopLatency+s, func() {
+			m.stats.Messages++
+			m.stats.Bytes += uint64(p.m.Size)
+			m.stats.HopTraversals += uint64(p.m.Hops)
+			m.deliver[ref.router](p.m)
+		})
+	} else {
+		// Head arrives at the next router after HopLatency (cut-through).
+		m.k.Schedule(m.cfg.HopLatency, func() {
+			p.stage++
+			next := p.path[p.stage]
+			np := &m.ports[next.router][next.d]
+			np.q[p.class] = append(np.q[p.class], p)
+			m.tryGrant(next)
+		})
+	}
+	// The link frees after the tail passes.
+	m.wake(ref, now+s)
+}
+
+// Utilization returns mean link occupancy over elapsed cycles across all
+// mesh links (excluding ejection ports).
+func (m *Mesh) Utilization(elapsed sim.Time) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	// 2*(W-1)*H horizontal + 2*W*(H-1) vertical unidirectional links.
+	links := 2*(m.cfg.Width-1)*m.cfg.Height + 2*m.cfg.Width*(m.cfg.Height-1)
+	return float64(m.LinkBusyCycles) / (float64(elapsed) * float64(links))
+}

@@ -1,0 +1,142 @@
+// Package netif models Corona's inter-stack network interfaces
+// (Section 3.1.2): "Network interfaces, similar to the interface to off-stack
+// main memory, provide inter-stack communication for larger systems using
+// DWDM interconnects."
+//
+// Each cluster's network interface owns a DWDM fiber pair identical in
+// signalling to the OCM links (64 wavelengths, dual-edge 10 Gb/s,
+// 32 B/cycle), connecting it to the peer cluster of another Corona stack.
+// Like the memory channel — and unlike the peer-to-peer on-stack crossbar —
+// the link is scheduled by its master endpoint with no arbitration; unlike
+// the memory channel, both endpoints are masters of their own outbound
+// fiber, making the pair full duplex at the stack-to-stack level.
+//
+// The model supports multi-stack NUMA experiments: remote-stack memory
+// accesses traverse the local hub, the inter-stack fiber, and the remote
+// stack's hub, paying fiber propagation set by the physical cable length.
+package netif
+
+import (
+	"fmt"
+
+	"corona/internal/sim"
+)
+
+// Config parameterizes one inter-stack interface.
+type Config struct {
+	// BytesPerCycle is the fiber bandwidth (32 = 64 λ dual edge, as OCM).
+	BytesPerCycle int
+	// CableMeters is the physical fiber length; light in fiber covers about
+	// 0.2 m per 5 GHz cycle (n ≈ 1.5).
+	CableMeters float64
+	// QueueDepth bounds the outbound queue; Send refuses beyond it.
+	QueueDepth int
+}
+
+// DefaultConfig returns an OCM-grade link over a 1 m cable (same-board
+// stacks).
+func DefaultConfig() Config {
+	return Config{BytesPerCycle: 32, CableMeters: 1, QueueDepth: 64}
+}
+
+// FiberMetersPerCycle is how far light travels in fiber in one 5 GHz cycle.
+const FiberMetersPerCycle = 0.2
+
+// PropagationCycles returns the one-way fiber latency.
+func (c Config) PropagationCycles() sim.Time {
+	cycles := c.CableMeters / FiberMetersPerCycle
+	t := sim.Time(cycles)
+	if float64(t) < cycles {
+		t++
+	}
+	return t
+}
+
+// BytesPerSec returns the link's one-direction bandwidth.
+func (c Config) BytesPerSec() float64 { return float64(c.BytesPerCycle) * 5e9 }
+
+// Packet is one inter-stack transfer.
+type Packet struct {
+	ID    uint64
+	Size  int
+	Stack int // destination stack id, for the receiver's bookkeeping
+	// Payload carries the embedded message (e.g. a remote memory request).
+	Payload interface{}
+}
+
+// Link is one unidirectional inter-stack fiber; build two for a pair.
+type Link struct {
+	k   *sim.Kernel
+	cfg Config
+
+	queue     []*Packet
+	busyUntil sim.Time
+	active    bool
+	deliver   func(*Packet)
+
+	// Sent and Bytes count completed transfers.
+	Sent  uint64
+	Bytes uint64
+}
+
+// NewLink builds a link on kernel k delivering into the remote stack's
+// callback.
+func NewLink(k *sim.Kernel, cfg Config, deliver func(*Packet)) *Link {
+	if cfg.BytesPerCycle <= 0 || cfg.QueueDepth <= 0 || deliver == nil {
+		panic(fmt.Sprintf("netif: invalid link config %+v", cfg))
+	}
+	return &Link{k: k, cfg: cfg, deliver: deliver}
+}
+
+// QueueLen returns the number of queued (unsent) packets.
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// Send queues p for transmission; it returns false when the outbound queue
+// is full.
+func (l *Link) Send(p *Packet) bool {
+	if p == nil || p.Size <= 0 {
+		panic("netif: invalid packet")
+	}
+	if len(l.queue) >= l.cfg.QueueDepth {
+		return false
+	}
+	l.queue = append(l.queue, p)
+	if !l.active {
+		l.active = true
+		l.k.Schedule(0, l.pump)
+	}
+	return true
+}
+
+// pump serializes queued packets onto the fiber back to back.
+func (l *Link) pump() {
+	if len(l.queue) == 0 {
+		l.active = false
+		return
+	}
+	p := l.queue[0]
+	l.queue = l.queue[1:]
+	tx := sim.Time((p.Size + l.cfg.BytesPerCycle - 1) / l.cfg.BytesPerCycle)
+	prop := l.cfg.PropagationCycles()
+	l.k.Schedule(tx+prop, func() {
+		l.Sent++
+		l.Bytes += uint64(p.Size)
+		l.deliver(p)
+	})
+	l.k.Schedule(tx, l.pump)
+}
+
+// Pair is a full-duplex stack-to-stack connection.
+type Pair struct {
+	AtoB *Link
+	BtoA *Link
+}
+
+// NewPair wires two stacks together; deliverA receives packets sent by B
+// and vice versa.
+func NewPair(k *sim.Kernel, cfg Config, deliverA, deliverB func(*Packet)) *Pair {
+	return &Pair{
+		AtoB: NewLink(k, cfg, deliverB),
+		BtoA: NewLink(k, cfg, deliverA),
+	}
+}

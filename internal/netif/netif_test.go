@@ -1,0 +1,181 @@
+package netif
+
+import (
+	"testing"
+	"testing/quick"
+
+	"corona/internal/sim"
+)
+
+func TestLinkBandwidthMatchesOCM(t *testing.T) {
+	// The interface reuses the OCM signalling: 160 GB/s per fiber.
+	if got := DefaultConfig().BytesPerSec(); got != 160e9 {
+		t.Fatalf("link bandwidth = %v, want 160 GB/s", got)
+	}
+}
+
+func TestPropagation(t *testing.T) {
+	cases := []struct {
+		meters float64
+		want   sim.Time
+	}{
+		{0.2, 1}, {1, 5}, {10, 50}, {0.3, 2},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig()
+		cfg.CableMeters = c.meters
+		if got := cfg.PropagationCycles(); got != c.want {
+			t.Errorf("propagation(%vm) = %d, want %d", c.meters, got, c.want)
+		}
+	}
+}
+
+func TestSingleTransfer(t *testing.T) {
+	k := sim.NewKernel()
+	var at sim.Time
+	var got *Packet
+	l := NewLink(k, DefaultConfig(), func(p *Packet) { got = p; at = k.Now() })
+	if !l.Send(&Packet{ID: 1, Size: 64, Stack: 1}) {
+		t.Fatal("send refused")
+	}
+	k.Run()
+	if got == nil || got.ID != 1 {
+		t.Fatal("packet not delivered")
+	}
+	// tx ceil(64/32)=2 + prop 5 = 7.
+	if at != 7 {
+		t.Errorf("delivered at %d, want 7", at)
+	}
+	if l.Sent != 1 || l.Bytes != 64 {
+		t.Errorf("counters = %d/%d", l.Sent, l.Bytes)
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	k := sim.NewKernel()
+	var times []sim.Time
+	l := NewLink(k, DefaultConfig(), func(p *Packet) { times = append(times, k.Now()) })
+	for i := 0; i < 10; i++ {
+		l.Send(&Packet{ID: uint64(i), Size: 64})
+	}
+	k.Run()
+	if len(times) != 10 {
+		t.Fatalf("delivered %d, want 10", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] < 2 {
+			t.Fatalf("transfers %d cycles apart, want >= 2 (serialization)", times[i]-times[i-1])
+		}
+	}
+}
+
+func TestQueueBackPressure(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 3
+	l := NewLink(k, cfg, func(*Packet) {})
+	ok := 0
+	for i := 0; i < 10; i++ {
+		if l.Send(&Packet{ID: uint64(i), Size: 64}) {
+			ok++
+		}
+	}
+	if ok != 3 {
+		t.Fatalf("accepted %d, want 3", ok)
+	}
+	k.Run()
+	if !l.Send(&Packet{ID: 99, Size: 64}) {
+		t.Fatal("refusing after drain")
+	}
+}
+
+func TestFullDuplexPair(t *testing.T) {
+	k := sim.NewKernel()
+	var aGot, bGot int
+	p := NewPair(k, DefaultConfig(),
+		func(*Packet) { aGot++ },
+		func(*Packet) { bGot++ })
+	// Simultaneous traffic both ways must not interfere: both finish at the
+	// single-transfer time.
+	p.AtoB.Send(&Packet{ID: 1, Size: 64})
+	p.BtoA.Send(&Packet{ID: 2, Size: 64})
+	k.Run()
+	if aGot != 1 || bGot != 1 {
+		t.Fatalf("deliveries = %d/%d, want 1/1", aGot, bGot)
+	}
+	if k.Now() != 7 {
+		t.Errorf("both directions done at %d, want 7 (full duplex)", k.Now())
+	}
+}
+
+func TestRemoteStackAccessLatencyModel(t *testing.T) {
+	// A remote-stack memory access pays two fiber crossings (request out,
+	// line back); with a 1 m cable that is 10 cycles = 2 ns of propagation
+	// plus serialization — small next to the 20 ns DRAM access, which is the
+	// paper's implicit argument that multi-stack NUMA remains tractable.
+	k := sim.NewKernel()
+	cfg := DefaultConfig()
+	var done sim.Time
+	var pair *Pair
+	pair = NewPair(k, cfg,
+		func(p *Packet) { done = k.Now() }, // response back at stack A
+		func(p *Packet) { // request arrives at stack B: emulate memory, respond
+			k.Schedule(sim.FromNs(20), func() {
+				pair.BtoA.Send(&Packet{ID: p.ID, Size: 72})
+			})
+		})
+	pair.AtoB.Send(&Packet{ID: 1, Size: 16})
+	k.Run()
+	total := done.Ns()
+	if total < 20 || total > 25 {
+		t.Errorf("remote-stack access = %v ns, want 20-25 (fiber adds ~2-3 ns)", total)
+	}
+}
+
+// Property: every accepted packet is delivered exactly once, in send order.
+func TestDeliveryOrderProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := sim.NewRand(seed)
+		n := int(nRaw%50) + 1
+		k := sim.NewKernel()
+		cfg := DefaultConfig()
+		cfg.QueueDepth = 1000
+		var got []uint64
+		l := NewLink(k, cfg, func(p *Packet) { got = append(got, p.ID) })
+		for i := 0; i < n; i++ {
+			delay := sim.Time(rng.Intn(20))
+			id := uint64(i)
+			k.Schedule(delay, func() {
+				l.Send(&Packet{ID: id, Size: 16 + rng.Intn(100)})
+			})
+		}
+		if k.RunLimit(1_000_000) >= 1_000_000 {
+			return false
+		}
+		return len(got) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	k := sim.NewKernel()
+	for _, f := range []func(){
+		func() { NewLink(k, Config{}, func(*Packet) {}) },
+		func() { NewLink(k, DefaultConfig(), nil) },
+		func() {
+			l := NewLink(k, DefaultConfig(), func(*Packet) {})
+			l.Send(nil)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid input did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,131 @@
+// Package noc defines the message and network abstractions shared by the
+// optical crossbar, the optical broadcast bus, and the electrical meshes.
+//
+// A network moves Messages between cluster endpoints. Senders inject through
+// Send, which may refuse a message when the per-source injection queue is
+// full (back pressure); delivery is signalled through a per-destination
+// callback installed with SetDeliver. All timing is in 5 GHz cycles.
+package noc
+
+import (
+	"fmt"
+
+	"corona/internal/sim"
+)
+
+// Kind classifies a message for routing and accounting.
+type Kind uint8
+
+// Message kinds. Requests and responses implement the L2-miss transaction;
+// the coherence kinds are used by the directory protocol example.
+const (
+	KindRequest Kind = iota
+	KindResponse
+	KindWriteback
+	KindInvalidate
+	KindInvalidateAck
+	KindCoherence
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindResponse:
+		return "response"
+	case KindWriteback:
+		return "writeback"
+	case KindInvalidate:
+		return "invalidate"
+	case KindInvalidateAck:
+		return "invalidate-ack"
+	case KindCoherence:
+		return "coherence"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Canonical message sizes in bytes. A request carries address and command; a
+// response carries a 64 B cache line plus header (the paper sends a line as
+// 256 bits twice per 5 GHz clock, i.e. 64 B/cycle on a crossbar channel).
+const (
+	RequestBytes   = 16
+	ResponseBytes  = 72
+	LineBytes      = 64
+	WritebackBytes = 80
+)
+
+// Message is one network packet. Messages are allocated by the sender and
+// owned by the network until delivery.
+type Message struct {
+	ID   uint64
+	Src  int // source cluster
+	Dst  int // destination cluster
+	Size int // bytes on the wire
+	Kind Kind
+
+	// Issue is when the requester generated the transaction (for end-to-end
+	// latency); Inject is when the network accepted it.
+	Issue  sim.Time
+	Inject sim.Time
+
+	// Hops is filled in by mesh networks with the number of router-to-router
+	// link traversals, for the 196 pJ/hop power model. Optical networks leave
+	// it zero and account power separately.
+	Hops int
+
+	// Payload carries protocol state for coherence messages; plain memory
+	// traffic leaves it nil.
+	Payload interface{}
+}
+
+// DeliverFunc receives a message at its destination cluster.
+type DeliverFunc func(*Message)
+
+// Network is the interface the cluster hub uses to communicate. Both optical
+// and electrical interconnects implement it.
+type Network interface {
+	// Name identifies the network ("xbar", "hmesh", "lmesh", ...).
+	Name() string
+	// Clusters returns the number of endpoints.
+	Clusters() int
+	// Send injects msg. It returns false when the source's injection queue is
+	// full; the caller must retry later (back pressure).
+	Send(msg *Message) bool
+	// SetDeliver installs the delivery callback for a destination cluster.
+	SetDeliver(cluster int, fn DeliverFunc)
+	// Consume returns one receive-buffer credit at cluster after the hub has
+	// drained the delivered message m. Every delivery must eventually be
+	// matched by exactly one Consume, or the network wedges — which is
+	// precisely the back-pressure the paper models with finite buffers. The
+	// message identifies which buffer pool (virtual network) the freed slot
+	// belongs to.
+	Consume(cluster int, m *Message)
+}
+
+// Stats aggregates the counters every network implementation maintains.
+type Stats struct {
+	Messages      uint64
+	Bytes         uint64
+	HopTraversals uint64 // mesh only: sum over messages of per-hop link uses
+}
+
+// Validate checks a message for internal consistency against a network of n
+// clusters. Models call it at injection; it returns a descriptive error.
+func Validate(m *Message, n int) error {
+	if m == nil {
+		return fmt.Errorf("noc: nil message")
+	}
+	if m.Src < 0 || m.Src >= n {
+		return fmt.Errorf("noc: message %d source %d out of range [0,%d)", m.ID, m.Src, n)
+	}
+	if m.Dst < 0 || m.Dst >= n {
+		return fmt.Errorf("noc: message %d destination %d out of range [0,%d)", m.ID, m.Dst, n)
+	}
+	if m.Size <= 0 {
+		return fmt.Errorf("noc: message %d has non-positive size %d", m.ID, m.Size)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package noc
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindRequest:       "request",
+		KindResponse:      "response",
+		KindWriteback:     "writeback",
+		KindInvalidate:    "invalidate",
+		KindInvalidateAck: "invalidate-ack",
+		KindCoherence:     "coherence",
+		Kind(200):         "kind(200)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Message{ID: 1, Src: 0, Dst: 63, Size: 16}
+	if err := Validate(ok, 64); err != nil {
+		t.Errorf("valid message rejected: %v", err)
+	}
+	bad := []*Message{
+		nil,
+		{ID: 2, Src: -1, Dst: 0, Size: 16},
+		{ID: 3, Src: 64, Dst: 0, Size: 16},
+		{ID: 4, Src: 0, Dst: 64, Size: 16},
+		{ID: 5, Src: 0, Dst: 0, Size: 0},
+	}
+	for i, m := range bad {
+		if err := Validate(m, 64); err == nil {
+			t.Errorf("case %d: invalid message accepted", i)
+		}
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	// The response must carry a full cache line.
+	if ResponseBytes < LineBytes {
+		t.Fatal("response smaller than a cache line")
+	}
+	if WritebackBytes < LineBytes {
+		t.Fatal("writeback smaller than a cache line")
+	}
+}

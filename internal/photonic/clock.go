@@ -1,0 +1,70 @@
+package photonic
+
+import "fmt"
+
+// Corona distributes its clock optically (Section 3.2.1): a clock waveguide
+// parallels the data serpentine, the clock signal travelling clockwise with
+// the data. Each cluster phase-locks its electrical clock to the arriving
+// optical clock, so each cluster runs offset from the previous one by about
+// 1/8th of a clock cycle — and because data and clock co-propagate, input
+// and output data stay in phase with the local clock everywhere except where
+// the serpentine wraps around, the single point that needs retiming.
+
+// ClockDistribution models the global optical clock.
+type ClockDistribution struct {
+	Clusters int
+	// PositionsPerCycle is how many cluster positions light passes per clock
+	// (8 for Corona: a 64-cluster revolution in 8 clocks).
+	PositionsPerCycle int
+}
+
+// DefaultClock returns Corona's published clocking.
+func DefaultClock() ClockDistribution {
+	return ClockDistribution{Clusters: 64, PositionsPerCycle: 8}
+}
+
+// PhaseOffset returns cluster's clock phase relative to cluster 0, as a
+// fraction of one cycle in [0, 1): the clock arrives cluster/8 cycles after
+// it passes cluster 0, and only the fractional part is a phase difference.
+func (c ClockDistribution) PhaseOffset(cluster int) float64 {
+	if cluster < 0 || cluster >= c.Clusters {
+		panic(fmt.Sprintf("photonic: cluster %d out of range", cluster))
+	}
+	return float64(cluster%c.PositionsPerCycle) / float64(c.PositionsPerCycle)
+}
+
+// AdjacentOffsetCycles returns the phase step between neighbouring clusters
+// (the paper's "approximately 1/8th of a clock cycle").
+func (c ClockDistribution) AdjacentOffsetCycles() float64 {
+	return 1 / float64(c.PositionsPerCycle)
+}
+
+// NeedsRetiming reports whether data travelling from src to the channel home
+// dst crosses the serpentine wrap-around and therefore needs resynchronized
+// capture. Light travels in cyclically increasing cluster order, so the wrap
+// (position Clusters-1 back to 0) is crossed exactly when src >= dst.
+func (c ClockDistribution) NeedsRetiming(src, dst int) bool {
+	if src < 0 || src >= c.Clusters || dst < 0 || dst >= c.Clusters {
+		panic(fmt.Sprintf("photonic: src %d / dst %d out of range", src, dst))
+	}
+	return src >= dst
+}
+
+// RetimingFraction returns the fraction of (src, dst) pairs that cross the
+// wrap — the share of traffic paying the retiming penalty the scheme avoids
+// everywhere else.
+func (c ClockDistribution) RetimingFraction() float64 {
+	var crossing, total int
+	for s := 0; s < c.Clusters; s++ {
+		for d := 0; d < c.Clusters; d++ {
+			if s == d {
+				continue
+			}
+			total++
+			if c.NeedsRetiming(s, d) {
+				crossing++
+			}
+		}
+	}
+	return float64(crossing) / float64(total)
+}

@@ -1,0 +1,83 @@
+package photonic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdjacentPhaseOffset(t *testing.T) {
+	c := DefaultClock()
+	// "each cluster is offset from the previous cluster by approximately
+	// 1/8th of a clock cycle"
+	if got := c.AdjacentOffsetCycles(); got != 0.125 {
+		t.Fatalf("adjacent offset = %v, want 1/8", got)
+	}
+	for i := 1; i < 64; i++ {
+		step := c.PhaseOffset(i) - c.PhaseOffset(i-1)
+		// Wraps from 7/8 back to 0 every 8 clusters.
+		if step < 0 {
+			step += 1
+		}
+		if math.Abs(step-0.125) > 1e-12 {
+			t.Fatalf("phase step at cluster %d = %v, want 0.125", i, step)
+		}
+	}
+}
+
+func TestPhaseOffsetRange(t *testing.T) {
+	c := DefaultClock()
+	for i := 0; i < 64; i++ {
+		p := c.PhaseOffset(i)
+		if p < 0 || p >= 1 {
+			t.Fatalf("phase offset of %d = %v, out of [0,1)", i, p)
+		}
+	}
+	if c.PhaseOffset(0) != 0 {
+		t.Error("cluster 0 should define phase zero")
+	}
+	if c.PhaseOffset(8) != 0 {
+		t.Error("cluster 8 is exactly one cycle behind: phase 0")
+	}
+}
+
+func TestNeedsRetimingOnlyAtWrap(t *testing.T) {
+	c := DefaultClock()
+	// Forward (non-wrapping) paths are in phase; wrapping paths retime.
+	if c.NeedsRetiming(3, 10) {
+		t.Error("forward path should not retime")
+	}
+	if !c.NeedsRetiming(10, 3) {
+		t.Error("wrapping path should retime")
+	}
+	if !c.NeedsRetiming(63, 0) {
+		t.Error("the 63->0 seam must retime")
+	}
+}
+
+func TestRetimingFraction(t *testing.T) {
+	c := DefaultClock()
+	// Exactly half the ordered (src, dst) pairs have src > dst and so cross
+	// the seam: 2016 of 4032.
+	if got := c.RetimingFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("retiming fraction = %v, want 0.5", got)
+	}
+}
+
+func TestClockPanics(t *testing.T) {
+	c := DefaultClock()
+	for _, f := range []func(){
+		func() { c.PhaseOffset(-1) },
+		func() { c.PhaseOffset(64) },
+		func() { c.NeedsRetiming(-1, 0) },
+		func() { c.NeedsRetiming(0, 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range input did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,160 @@
+// Package photonic models the nanophotonic building blocks of Section 2 of
+// the paper — ring resonators, waveguides, splitters, and mode-locked comb
+// lasers — at the analytic level the architecture needs: device counts
+// (Table 2), optical loss/laser power budgets, and propagation timing.
+//
+// No electromagnetic simulation is performed; the paper itself treats these
+// devices through a handful of constants (2–3 dB/cm waveguide loss, 10 Gb/s
+// per wavelength, 64-wavelength combs, 2 cm of waveguide per 5 GHz clock),
+// and those constants are what the interconnect models consume.
+package photonic
+
+import "fmt"
+
+// Physical and architectural constants from Sections 2–3 of the paper.
+const (
+	// WavelengthsPerComb is the number of DWDM wavelengths one on-stack
+	// mode-locked laser provides.
+	WavelengthsPerComb = 64
+	// DataRateGbps is the per-wavelength signalling rate (dual-edge 5 GHz).
+	DataRateGbps = 10.0
+	// WaveguideCmPerClock is how far light travels in silicon waveguide in
+	// one 5 GHz clock cycle.
+	WaveguideCmPerClock = 2.0
+	// WaveguideLossDBPerCm is the propagation loss of a demonstrated-today
+	// SOI waveguide (the paper quotes 2–3 dB/cm).
+	WaveguideLossDBPerCm = 2.5
+	// InterconnectLossDBPerCm is the loss of the low-loss ridge waveguide the
+	// chip-scale serpentine requires: at 2.5 dB/cm a 16 cm serpentine alone
+	// costs 40 dB and no practical laser closes the budget, so Corona-class
+	// designs (and the follow-on literature) assume ~0.3 dB/cm for the long
+	// on-stack runs. The budget functions use this figure for the crossbar.
+	InterconnectLossDBPerCm = 0.3
+	// RingThroughLossDB is the insertion loss an off-resonance ring imposes
+	// on wavelengths passing it.
+	RingThroughLossDB = 0.01
+	// SplitterExcessLossDB is the excess (non-split) loss of a broadband
+	// splitter.
+	SplitterExcessLossDB = 0.1
+	// DetectorSensitivityDBm is the minimum optical power a ring-resonator
+	// SiGe detector needs (its ~1 fF capacitance removes the TIA).
+	DetectorSensitivityDBm = -20.0
+	// ModulatorInsertionLossDB is the loss of an active modulator pass.
+	ModulatorInsertionLossDB = 0.5
+	// CouplerLossDB is the fiber-to-stack coupling loss for off-stack links.
+	CouplerLossDB = 1.0
+)
+
+// RingRole distinguishes the three uses of a ring resonator (Figure 1).
+type RingRole uint8
+
+// Ring resonator roles.
+const (
+	RoleModulator RingRole = iota // encodes data onto a CW wavelength
+	RoleInjector                  // diverts a wavelength between waveguides
+	RoleDetector                  // absorbs a wavelength into a SiGe junction
+)
+
+// String names the role.
+func (r RingRole) String() string {
+	switch r {
+	case RoleModulator:
+		return "modulator"
+	case RoleInjector:
+		return "injector"
+	case RoleDetector:
+		return "detector"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Ring is a ring resonator tuned to one wavelength index within a comb.
+// Bringing it on resonance couples its wavelength; off resonance the
+// wavelength passes by (Figure 1a/b).
+type Ring struct {
+	Role        RingRole
+	Wavelength  int // index within the 64-wavelength comb
+	onResonance bool
+}
+
+// SetResonance tunes the ring on or off resonance (charge injection in the
+// real device).
+func (r *Ring) SetResonance(on bool) { r.onResonance = on }
+
+// OnResonance reports whether the ring is currently resonant.
+func (r *Ring) OnResonance() bool { return r.onResonance }
+
+// Couples reports whether the ring interacts with wavelength w: it must be
+// resonant and tuned to w.
+func (r *Ring) Couples(w int) bool { return r.onResonance && r.Wavelength == w }
+
+// Waveguide is a length of on-stack silicon waveguide.
+type Waveguide struct {
+	// LengthCm is the routed length.
+	LengthCm float64
+	// Rings is the number of ring resonators coupled along it (their
+	// through-loss accumulates for every wavelength passing them).
+	Rings int
+	// Splitters is the number of broadband splitters along it.
+	Splitters int
+	// LossDBPerCm overrides the propagation loss; zero selects the
+	// demonstrated-today WaveguideLossDBPerCm.
+	LossDBPerCm float64
+}
+
+// PropagationClocks returns the time in 5 GHz clocks for light to traverse
+// the waveguide, rounded up.
+func (w Waveguide) PropagationClocks() int {
+	c := w.LengthCm / WaveguideCmPerClock
+	n := int(c)
+	if float64(n) < c {
+		n++
+	}
+	return n
+}
+
+// LossDB returns the total optical loss along the waveguide in dB, given the
+// fraction of power each splitter taps off (splitTap in (0,1)).
+func (w Waveguide) LossDB(splitTap float64) float64 {
+	perCm := w.LossDBPerCm
+	if perCm == 0 {
+		perCm = WaveguideLossDBPerCm
+	}
+	loss := w.LengthCm * perCm
+	loss += float64(w.Rings) * RingThroughLossDB
+	if w.Splitters > 0 {
+		perSplit := SplitterExcessLossDB + fractionToDB(1-splitTap)
+		loss += float64(w.Splitters) * perSplit
+	}
+	return loss
+}
+
+// Laser is an on-stack mode-locked comb laser feeding power waveguides.
+type Laser struct {
+	// Wavelengths in the comb (64 per laser, Section 2).
+	Wavelengths int
+	// PowerPerWavelengthDBm is the launched power per wavelength.
+	PowerPerWavelengthDBm float64
+}
+
+// TotalPowerMW returns the total launched optical power in milliwatts.
+func (l Laser) TotalPowerMW() float64 {
+	return float64(l.Wavelengths) * dbmToMW(l.PowerPerWavelengthDBm)
+}
+
+// Splitter is a broadband splitter diverting Tap of the incoming power of
+// all wavelengths onto a branch waveguide (Section 2's final component).
+type Splitter struct {
+	Tap float64 // fraction diverted, in (0,1)
+}
+
+// BranchLossDB is the loss seen by the diverted branch relative to input.
+func (s Splitter) BranchLossDB() float64 {
+	return SplitterExcessLossDB + fractionToDB(s.Tap)
+}
+
+// ThroughLossDB is the loss seen by the continuing trunk.
+func (s Splitter) ThroughLossDB() float64 {
+	return SplitterExcessLossDB + fractionToDB(1-s.Tap)
+}

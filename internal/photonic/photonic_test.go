@@ -1,0 +1,231 @@
+package photonic
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestInventoryMatchesTable2(t *testing.T) {
+	g := DefaultGeometry()
+	inv := Inventory(g)
+	byName := map[string]SubsystemInventory{}
+	for _, s := range inv {
+		byName[s.Name] = s
+	}
+	cases := []struct {
+		name       string
+		waveguides int
+		rings      int
+	}{
+		{"Memory", 128, 16 * 1024},
+		{"Crossbar", 256, 1024 * 1024},
+		{"Broadcast", 1, 8 * 1024},
+		{"Arbitration", 2, 8 * 1024},
+		{"Clock", 1, 64},
+	}
+	for _, c := range cases {
+		s, ok := byName[c.name]
+		if !ok {
+			t.Fatalf("subsystem %q missing from inventory", c.name)
+		}
+		if s.Waveguides != c.waveguides {
+			t.Errorf("%s waveguides = %d, want %d (Table 2)", c.name, s.Waveguides, c.waveguides)
+		}
+		if s.Rings != c.rings {
+			t.Errorf("%s rings = %d, want %d (Table 2)", c.name, s.Rings, c.rings)
+		}
+	}
+	total := InventoryTotal(inv)
+	if total.Waveguides != 388 {
+		t.Errorf("total waveguides = %d, want 388 (Table 2)", total.Waveguides)
+	}
+	// Paper reports ≈ 1056 K; exact sum is 1056.0625 K.
+	if total.Rings < 1055*1024 || total.Rings > 1057*1024 {
+		t.Errorf("total rings = %d, want ≈ 1056 K", total.Rings)
+	}
+}
+
+func TestChannelGeometry(t *testing.T) {
+	g := DefaultGeometry()
+	if got := g.ChannelWavelengths(); got != 256 {
+		t.Errorf("channel wavelengths = %d, want 256", got)
+	}
+	if got := g.ChannelBytesPerCycle(); got != 64 {
+		t.Errorf("channel bytes/cycle = %d, want 64 (one cache line per clock)", got)
+	}
+	if got := g.MaxPropagationClocks(); got != 8 {
+		t.Errorf("max propagation = %d clocks, want 8", got)
+	}
+}
+
+func TestCrossbarBandwidth(t *testing.T) {
+	g := DefaultGeometry()
+	// 64 channels x 64 B/cycle x 5 GHz = 20.48 TB/s.
+	perChannelTbps := float64(g.ChannelWavelengths()) * DataRateGbps / 1000
+	if math.Abs(perChannelTbps-2.56) > 1e-9 {
+		t.Errorf("per-cluster bandwidth = %v Tb/s, want 2.56", perChannelTbps)
+	}
+	totalTBs := float64(g.Clusters) * float64(g.ChannelBytesPerCycle()) * 5e9 / 1e12
+	if math.Abs(totalTBs-20.48) > 1e-9 {
+		t.Errorf("total crossbar bandwidth = %v TB/s, want 20.48", totalTBs)
+	}
+}
+
+func TestWaveguidePropagation(t *testing.T) {
+	cases := []struct {
+		cm   float64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 1}, {2.1, 2}, {16, 8},
+	}
+	for _, c := range cases {
+		if got := (Waveguide{LengthCm: c.cm}).PropagationClocks(); got != c.want {
+			t.Errorf("PropagationClocks(%v cm) = %d, want %d", c.cm, got, c.want)
+		}
+	}
+}
+
+func TestWaveguideLoss(t *testing.T) {
+	wg := Waveguide{LengthCm: 2, Rings: 10}
+	want := 2*WaveguideLossDBPerCm + 10*RingThroughLossDB
+	if got := wg.LossDB(0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("LossDB = %v, want %v", got, want)
+	}
+	// Splitters add loss.
+	wg.Splitters = 2
+	if wg.LossDB(0.01) <= want {
+		t.Error("splitters should add loss")
+	}
+}
+
+func TestRingResonance(t *testing.T) {
+	r := Ring{Role: RoleModulator, Wavelength: 5}
+	if r.Couples(5) {
+		t.Error("off-resonance ring must not couple")
+	}
+	r.SetResonance(true)
+	if !r.Couples(5) {
+		t.Error("on-resonance ring must couple its wavelength")
+	}
+	if r.Couples(6) {
+		t.Error("ring must not couple other wavelengths")
+	}
+	if !r.OnResonance() {
+		t.Error("OnResonance should be true")
+	}
+}
+
+func TestRingRoleString(t *testing.T) {
+	if RoleModulator.String() != "modulator" || RoleInjector.String() != "injector" ||
+		RoleDetector.String() != "detector" {
+		t.Error("role names wrong")
+	}
+	if !strings.HasPrefix(RingRole(9).String(), "role(") {
+		t.Error("unknown role should format numerically")
+	}
+}
+
+func TestSplitterLosses(t *testing.T) {
+	s := Splitter{Tap: 0.5}
+	// A 50/50 splitter loses ~3 dB on each side plus excess.
+	if math.Abs(s.BranchLossDB()-(SplitterExcessLossDB+3.0103)) > 0.01 {
+		t.Errorf("BranchLossDB = %v", s.BranchLossDB())
+	}
+	if math.Abs(s.ThroughLossDB()-s.BranchLossDB()) > 1e-9 {
+		t.Errorf("50/50 splitter should be symmetric")
+	}
+	// Small tap: branch lossy, trunk nearly transparent.
+	small := Splitter{Tap: 0.01}
+	if small.BranchLossDB() < 19 {
+		t.Errorf("1%% tap branch loss = %v, want ~20 dB", small.BranchLossDB())
+	}
+	if small.ThroughLossDB() > 0.2 {
+		t.Errorf("1%% tap through loss = %v, want < 0.2 dB", small.ThroughLossDB())
+	}
+}
+
+func TestLaserPower(t *testing.T) {
+	l := Laser{Wavelengths: 64, PowerPerWavelengthDBm: 0} // 1 mW per λ
+	if math.Abs(l.TotalPowerMW()-64) > 1e-9 {
+		t.Errorf("TotalPowerMW = %v, want 64", l.TotalPowerMW())
+	}
+}
+
+func TestLinkBudgetArithmetic(t *testing.T) {
+	b := &LinkBudget{Name: "t", LaunchDBm: 3, SensitivityDBm: -20}
+	b.Add("a", 5)
+	b.Add("b", 7)
+	if b.TotalLossDB() != 12 {
+		t.Errorf("TotalLossDB = %v, want 12", b.TotalLossDB())
+	}
+	if b.ReceivedDBm() != -9 {
+		t.Errorf("ReceivedDBm = %v, want -9", b.ReceivedDBm())
+	}
+	if b.MarginDB() != 11 {
+		t.Errorf("MarginDB = %v, want 11", b.MarginDB())
+	}
+	if !b.Closes() {
+		t.Error("budget should close")
+	}
+	if got := b.RequiredLaunchDBm(3); got != -5 {
+		t.Errorf("RequiredLaunchDBm = %v, want -5", got)
+	}
+	if !strings.Contains(b.String(), "margin") {
+		t.Error("String() should include margin")
+	}
+}
+
+func TestCrossbarWorstCaseBudgetCloses(t *testing.T) {
+	// With a few mW per wavelength the worst-case crossbar path must close:
+	// the whole architecture depends on it.
+	b := CrossbarWorstCaseBudget(10) // 10 dBm = 10 mW per λ
+	if !b.Closes() {
+		t.Errorf("worst-case crossbar budget does not close:\n%s", b)
+	}
+	// And with a microwatt it must not.
+	b2 := CrossbarWorstCaseBudget(-30)
+	if b2.Closes() {
+		t.Error("budget closes with -30 dBm launch; loss model too optimistic")
+	}
+}
+
+func TestOCMBudgetDepth(t *testing.T) {
+	// More modules -> more loss, monotonically.
+	prev := math.Inf(1)
+	for n := 1; n <= 8; n++ {
+		m := OCMBudget(0, n).MarginDB()
+		if m >= prev {
+			t.Fatalf("OCM margin not decreasing at depth %d", n)
+		}
+		prev = m
+	}
+	d := MaxOCMModules(0, 1)
+	if d < 1 {
+		t.Errorf("MaxOCMModules(0 dBm) = %d, want >= 1 (expansion must be possible)", d)
+	}
+	if MaxOCMModules(20, 1) <= d {
+		t.Error("more launch power should allow deeper chains")
+	}
+}
+
+func TestInventoryTableRenders(t *testing.T) {
+	s := InventoryTable(DefaultGeometry()).String()
+	for _, want := range []string{"Crossbar", "1024 K", "388", "Memory", "16 K"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 2 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRingCountFormatting(t *testing.T) {
+	if ringCount(64) != "64" {
+		t.Errorf("ringCount(64) = %q", ringCount(64))
+	}
+	if ringCount(8192) != "8 K" {
+		t.Errorf("ringCount(8192) = %q", ringCount(8192))
+	}
+	if ringCount(1048576) != "1024 K" {
+		t.Errorf("ringCount(1048576) = %q", ringCount(1048576))
+	}
+}

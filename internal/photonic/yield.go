@@ -1,0 +1,97 @@
+package photonic
+
+import (
+	"fmt"
+	"math"
+
+	"corona/internal/stats"
+)
+
+// Section 2 flags integration scale as the foremost open problem: "It will
+// be necessary to analyze and correct for the inevitable fabrication
+// variations to minimize device failures and maximize yield." This file
+// provides that analysis: given a per-ring hard-failure probability (defects
+// that trimming cannot correct) and a trimming budget, it computes expected
+// device failures per subsystem, the probability a whole subsystem is
+// defect-free, and the spare rings per wavelength group needed to reach a
+// target yield.
+
+// YieldModel parameterizes fabrication variation.
+type YieldModel struct {
+	// RingFailureProb is the probability an individual ring resonator is
+	// unusable after trimming (hard defect).
+	RingFailureProb float64
+	// TrimmableFraction is the fraction of fabrication-shifted rings that
+	// thermal/charge trimming recovers; only (1 - TrimmableFraction) of the
+	// shifted population contributes to RingFailureProb-style loss when the
+	// caller derives it from process spread.
+	TrimmableFraction float64
+}
+
+// DefaultYieldModel returns a conservative near-term model: one hard defect
+// per hundred thousand rings after trimming recovers 99.9% of shifted
+// devices.
+func DefaultYieldModel() YieldModel {
+	return YieldModel{RingFailureProb: 1e-5, TrimmableFraction: 0.999}
+}
+
+// ExpectedFailures returns the expected number of failed rings among n.
+func (m YieldModel) ExpectedFailures(n int) float64 {
+	return float64(n) * m.RingFailureProb
+}
+
+// SubsystemYield returns the probability that all n rings of a subsystem
+// work (no sparing).
+func (m YieldModel) SubsystemYield(n int) float64 {
+	return math.Pow(1-m.RingFailureProb, float64(n))
+}
+
+// SparesFor returns the number of spare rings each group of `group` rings
+// needs so that the probability of fewer-or-equal failures than spares is at
+// least targetYield. It evaluates the binomial CDF directly; group sizes in
+// Corona are at most a few hundred (a channel's wavelengths).
+func (m YieldModel) SparesFor(group int, targetYield float64) int {
+	if group <= 0 {
+		panic(fmt.Sprintf("photonic: invalid group %d", group))
+	}
+	if targetYield <= 0 || targetYield >= 1 {
+		panic(fmt.Sprintf("photonic: target yield %v out of (0,1)", targetYield))
+	}
+	p := m.RingFailureProb
+	for spares := 0; ; spares++ {
+		// P(failures <= spares) over group+spares fabricated rings.
+		n := group + spares
+		var cdf, pmf float64
+		pmf = math.Pow(1-p, float64(n)) // P(0 failures)
+		cdf = pmf
+		for k := 1; k <= spares; k++ {
+			pmf *= float64(n-k+1) / float64(k) * p / (1 - p)
+			cdf += pmf
+		}
+		if cdf >= targetYield {
+			return spares
+		}
+		if spares > group {
+			return spares // defect rate too high for sparing to help
+		}
+	}
+}
+
+// YieldReport summarises expected failures and no-spare yield per subsystem
+// of the Table 2 inventory, plus the sparing needed for a 99.9% per-channel
+// yield of the crossbar's 256-wavelength channels.
+func YieldReport(g Geometry, m YieldModel) *stats.Table {
+	t := stats.NewTable("Subsystem", "Rings", "E[failures]", "P(all good)")
+	for _, s := range Inventory(g) {
+		t.AddRow(s.Name,
+			fmt.Sprintf("%d", s.Rings),
+			fmt.Sprintf("%.2f", m.ExpectedFailures(s.Rings)),
+			fmt.Sprintf("%.4f", m.SubsystemYield(s.Rings)))
+	}
+	total := InventoryTotal(Inventory(g))
+	t.AddRow("Total",
+		fmt.Sprintf("%d", total.Rings),
+		fmt.Sprintf("%.2f", m.ExpectedFailures(total.Rings)),
+		fmt.Sprintf("%.4f", m.SubsystemYield(total.Rings)))
+	return t
+}

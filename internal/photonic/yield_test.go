@@ -1,0 +1,98 @@
+package photonic
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExpectedFailures(t *testing.T) {
+	m := YieldModel{RingFailureProb: 1e-5}
+	// Full Corona inventory: ~1.08 M rings -> ~10.8 expected failures.
+	total := InventoryTotal(Inventory(DefaultGeometry()))
+	got := m.ExpectedFailures(total.Rings)
+	if got < 10 || got > 12 {
+		t.Errorf("expected failures = %v, want ~10.8", got)
+	}
+}
+
+func TestSubsystemYieldMonotone(t *testing.T) {
+	m := DefaultYieldModel()
+	if m.SubsystemYield(64) <= m.SubsystemYield(1024*1024) {
+		t.Error("larger subsystems must yield worse")
+	}
+	if y := m.SubsystemYield(64); y < 0.999 {
+		t.Errorf("clock subsystem yield = %v, want ~1", y)
+	}
+	// The million-ring crossbar without sparing is hopeless — the point of
+	// the analysis.
+	if y := m.SubsystemYield(1024 * 1024); y > 0.01 {
+		t.Errorf("crossbar no-spare yield = %v, want ~0 (sparing required)", y)
+	}
+}
+
+func TestSparesFor(t *testing.T) {
+	m := YieldModel{RingFailureProb: 1e-5}
+	// A 256-wavelength channel with no spares yields (1-1e-5)^256 ≈ 0.9974,
+	// short of 0.999; one spare must fix it.
+	s := m.SparesFor(256, 0.999)
+	if s != 1 {
+		t.Errorf("SparesFor(256, 0.999) = %d, want 1", s)
+	}
+	// Zero spares suffice for a lax target.
+	if got := m.SparesFor(256, 0.99); got != 0 {
+		t.Errorf("SparesFor(256, 0.99) = %d, want 0", got)
+	}
+	// Higher defect rates need more spares, monotonically.
+	bad := YieldModel{RingFailureProb: 1e-3}
+	if bad.SparesFor(256, 0.999) <= m.SparesFor(256, 0.999) {
+		t.Error("worse process should need more spares")
+	}
+}
+
+func TestSparesForBinomialSanity(t *testing.T) {
+	// With p=0.5 and group=4, even many spares converge slowly; the guard
+	// must terminate.
+	m := YieldModel{RingFailureProb: 0.5}
+	s := m.SparesFor(4, 0.999)
+	if s <= 0 {
+		t.Error("pathological process should demand spares")
+	}
+}
+
+func TestSparesForPanics(t *testing.T) {
+	m := DefaultYieldModel()
+	for _, f := range []func(){
+		func() { m.SparesFor(0, 0.9) },
+		func() { m.SparesFor(10, 0) },
+		func() { m.SparesFor(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid SparesFor input did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestYieldReport(t *testing.T) {
+	s := YieldReport(DefaultGeometry(), DefaultYieldModel()).String()
+	for _, want := range []string{"Crossbar", "Total", "E[failures]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("yield report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDefaultModelInternallyConsistent(t *testing.T) {
+	m := DefaultYieldModel()
+	if m.TrimmableFraction <= 0.99 {
+		t.Error("trimming should recover the vast majority of shifted rings")
+	}
+	if math.IsNaN(m.SubsystemYield(1000)) {
+		t.Error("NaN yield")
+	}
+}

@@ -1,0 +1,61 @@
+// Package power implements the paper's interconnect power models
+// (Sections 3.2-3.3, 4, Figure 11):
+//
+//   - The optical crossbar dissipates a continuous 26 W — laser, ring
+//     trimming, and the analog control layer are largely load-independent.
+//   - The electrical meshes dissipate 196 pJ per transaction per hop
+//     (low-swing busses, router overhead included, leakage ignored — the
+//     paper's deliberately aggressive assumption in the mesh's favour).
+//   - Off-stack memory interconnect: 0.078 mW/Gb/s for OCM, 2 mW/Gb/s for
+//     electrical signalling (the 160 W that makes a 10 TB/s ECM infeasible).
+//   - The full photonic subsystem (crossbar + memory + broadcast +
+//     arbitration + clock) is budgeted at 39 W.
+package power
+
+import "corona/internal/sim"
+
+// Power model constants from the paper.
+const (
+	// XBarContinuousW is the crossbar's fixed power draw in watts.
+	XBarContinuousW = 26.0
+	// PhotonicSubsystemW is the total photonic interconnect power budget.
+	PhotonicSubsystemW = 39.0
+	// MeshHopEnergyPJ is the electrical mesh's energy per transaction per hop.
+	MeshHopEnergyPJ = 196.0
+	// OCMmWPerGbps and ECMmWPerGbps are the off-stack memory interconnect
+	// power coefficients.
+	OCMmWPerGbps = 0.078
+	ECMmWPerGbps = 2.0
+)
+
+// MeshDynamicW returns the electrical mesh's dynamic power for a run in
+// which messages accumulated hopTraversals link traversals over elapsed
+// simulated time.
+func MeshDynamicW(hopTraversals uint64, elapsed sim.Time) float64 {
+	sec := elapsed.Seconds()
+	if sec == 0 {
+		return 0
+	}
+	return float64(hopTraversals) * MeshHopEnergyPJ * 1e-12 / sec
+}
+
+// MemoryInterconnectW returns the off-stack memory interconnect power for
+// bytesMoved over elapsed time at the given coefficient.
+func MemoryInterconnectW(bytesMoved uint64, elapsed sim.Time, mWPerGbps float64) float64 {
+	sec := elapsed.Seconds()
+	if sec == 0 {
+		return 0
+	}
+	gbps := float64(bytesMoved) * 8 / sec / 1e9
+	return gbps * mWPerGbps / 1000
+}
+
+// OCMInterconnectW is MemoryInterconnectW with the optical coefficient.
+func OCMInterconnectW(bytesMoved uint64, elapsed sim.Time) float64 {
+	return MemoryInterconnectW(bytesMoved, elapsed, OCMmWPerGbps)
+}
+
+// ECMInterconnectW is MemoryInterconnectW with the electrical coefficient.
+func ECMInterconnectW(bytesMoved uint64, elapsed sim.Time) float64 {
+	return MemoryInterconnectW(bytesMoved, elapsed, ECMmWPerGbps)
+}

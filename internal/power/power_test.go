@@ -1,0 +1,71 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeshDynamicPower(t *testing.T) {
+	// 1e9 hop-transactions over 1 second of simulated time (5e9 cycles):
+	// 1e9 * 196 pJ / 1 s = 0.196 W.
+	got := MeshDynamicW(1e9, 5e9)
+	if math.Abs(got-0.196) > 1e-9 {
+		t.Errorf("MeshDynamicW = %v, want 0.196", got)
+	}
+	if MeshDynamicW(100, 0) != 0 {
+		t.Error("zero elapsed should give 0")
+	}
+}
+
+func TestPaperECMHeadline(t *testing.T) {
+	// The paper: a 10 TB/s electrical memory interconnect at 2 mW/Gb/s costs
+	// "over 160 W". 10 TB/s for 1 s = 1e13 bytes.
+	got := ECMInterconnectW(1e13, 5e9)
+	if got < 159 || got > 161 {
+		t.Errorf("10 TB/s ECM power = %v W, want ~160 (paper Section 3.3)", got)
+	}
+}
+
+func TestPaperOCMHeadline(t *testing.T) {
+	// "a total memory system power of approximately 6.4 W" at 10.24 TB/s.
+	got := OCMInterconnectW(uint64(10.24e12), 5e9)
+	if got < 6.3 || got > 6.5 {
+		t.Errorf("10.24 TB/s OCM power = %v W, want ~6.4 (paper Section 3.3)", got)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if XBarContinuousW != 26 {
+		t.Error("crossbar power must be the paper's 26 W")
+	}
+	if PhotonicSubsystemW != 39 {
+		t.Error("photonic subsystem power must be the paper's 39 W")
+	}
+	if ECMmWPerGbps/OCMmWPerGbps < 25 {
+		t.Error("optical signalling should be >25x more efficient")
+	}
+}
+
+func TestMemoryPowerScalesLinearly(t *testing.T) {
+	a := OCMInterconnectW(1e12, 5e9)
+	b := OCMInterconnectW(2e12, 5e9)
+	if math.Abs(b-2*a) > 1e-12 {
+		t.Error("power should scale linearly with traffic")
+	}
+	if MemoryInterconnectW(1, 0, 1) != 0 {
+		t.Error("zero elapsed should give 0")
+	}
+}
+
+func TestMeshPowerCanExceedCrossbar(t *testing.T) {
+	// Figure 11's point: under heavy traffic the mesh's dynamic power blows
+	// past the crossbar's constant 26 W. A saturated HMesh moves ~1.28 TB/s
+	// of memory traffic; each 88 B transaction is two messages (request +
+	// response) averaging ~5.3 hops each, so ~1.45e10 tx/s x 10.7 hops x
+	// 196 pJ ≈ 31 W, and higher still for the multi-TB/s workloads.
+	hopsPerSec := 1.28e12 / 88 * 10.7
+	got := MeshDynamicW(uint64(hopsPerSec), 5e9)
+	if got < XBarContinuousW {
+		t.Errorf("saturated mesh power %v W should exceed the crossbar's %v W", got, XBarContinuousW)
+	}
+}

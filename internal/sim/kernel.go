@@ -1,0 +1,158 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// used by every Corona subsystem model.
+//
+// Simulated time is measured in processor clock cycles at 5 GHz (the Corona
+// core frequency, Table 1 of the paper), so one cycle is 0.2 ns. Components
+// schedule closures at absolute or relative times; the kernel executes them
+// in time order, breaking ties by scheduling order so that runs are fully
+// deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in 5 GHz clock cycles.
+type Time uint64
+
+// Cycle durations and conversions.
+const (
+	// CyclesPerNs is the number of 5 GHz cycles in one nanosecond.
+	CyclesPerNs = 5
+	// NsPerCycle is the duration of one cycle in nanoseconds.
+	NsPerCycle = 0.2
+)
+
+// Ns converts a cycle count to nanoseconds.
+func (t Time) Ns() float64 { return float64(t) * NsPerCycle }
+
+// Seconds converts a cycle count to seconds.
+func (t Time) Seconds() float64 { return float64(t) * 0.2e-9 }
+
+// FromNs converts nanoseconds to cycles, rounding up so that latencies are
+// never under-modelled.
+func FromNs(ns float64) Time {
+	c := ns * CyclesPerNs
+	t := Time(c)
+	if float64(t) < c {
+		t++
+	}
+	return t
+}
+
+type event struct {
+	when Time
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler. The zero value is not usable; create
+// one with NewKernel.
+type Kernel struct {
+	pq      eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	// executed counts events dispatched, for introspection and test limits.
+	executed uint64
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.pq)
+	return k
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending returns the number of scheduled, not-yet-executed events.
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// Executed returns the number of events dispatched so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Schedule runs fn after delay cycles (possibly zero, meaning "later this
+// cycle", after already-queued events for the current time).
+func (k *Kernel) Schedule(delay Time, fn func()) {
+	k.At(k.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past is a programming
+// error and panics: silent time travel corrupts causality in queue models.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now %d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.pq, event{when: t, seq: k.seq, fn: fn})
+}
+
+// Step executes the single earliest event and returns true, or returns false
+// if no events remain.
+func (k *Kernel) Step() bool {
+	if len(k.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.pq).(event)
+	k.now = e.when
+	k.executed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled at t execute.
+func (k *Kernel) RunUntil(t Time) {
+	k.stopped = false
+	for !k.stopped && len(k.pq) > 0 && k.pq[0].when <= t {
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// RunLimit executes at most n further events; it returns the number executed.
+// Useful as a safety net in tests.
+func (k *Kernel) RunLimit(n uint64) uint64 {
+	k.stopped = false
+	var i uint64
+	for i = 0; i < n && !k.stopped; i++ {
+		if !k.Step() {
+			break
+		}
+	}
+	return i
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (k *Kernel) Stop() { k.stopped = true }

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.Schedule(10, func() { got = append(got, 1) })
+	k.Schedule(5, func() { got = append(got, 0) })
+	k.Schedule(10, func() { got = append(got, 2) }) // same time: FIFO by seq
+	k.Schedule(20, func() { got = append(got, 3) })
+	k.Run()
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 20 {
+		t.Errorf("Now() = %d, want 20", k.Now())
+	}
+}
+
+func TestKernelZeroDelay(t *testing.T) {
+	k := NewKernel()
+	order := []string{}
+	k.Schedule(0, func() {
+		order = append(order, "a")
+		k.Schedule(0, func() { order = append(order, "c") })
+	})
+	k.Schedule(0, func() { order = append(order, "b") })
+	k.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want [a b c]", order)
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var hits int
+	var rec func(depth int)
+	rec = func(depth int) {
+		hits++
+		if depth < 10 {
+			k.Schedule(1, func() { rec(depth + 1) })
+		}
+	}
+	k.Schedule(0, func() { rec(0) })
+	k.Run()
+	if hits != 11 {
+		t.Fatalf("hits = %d, want 11", hits)
+	}
+	if k.Now() != 10 {
+		t.Fatalf("Now() = %d, want 10", k.Now())
+	}
+}
+
+func TestKernelPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	var count int
+	for i := Time(1); i <= 100; i++ {
+		k.At(i, func() { count++ })
+	}
+	k.RunUntil(50)
+	if count != 50 {
+		t.Fatalf("count = %d, want 50", count)
+	}
+	if k.Now() != 50 {
+		t.Fatalf("Now() = %d, want 50", k.Now())
+	}
+	k.RunUntil(200)
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if k.Now() != 200 {
+		t.Fatalf("Now() = %d, want 200 (clock advances past last event)", k.Now())
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	var count int
+	for i := Time(1); i <= 10; i++ {
+		k.At(i, func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 after Stop", count)
+	}
+	k.Run() // resumes
+	if count != 10 {
+		t.Fatalf("count = %d, want 10 after resume", count)
+	}
+}
+
+func TestKernelRunLimit(t *testing.T) {
+	k := NewKernel()
+	for i := Time(0); i < 10; i++ {
+		k.At(i, func() {})
+	}
+	if n := k.RunLimit(4); n != 4 {
+		t.Fatalf("RunLimit ran %d, want 4", n)
+	}
+	if n := k.RunLimit(100); n != 6 {
+		t.Fatalf("RunLimit ran %d, want 6", n)
+	}
+}
+
+// Property: for any set of (time, id) pairs, the kernel dispatches them
+// sorted by time with stable order for equal times.
+func TestKernelOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		type rec struct {
+			when Time
+			seq  int
+		}
+		var got []rec
+		for i, d := range delays {
+			d := Time(d)
+			i := i
+			k.At(d, func() { got = append(got, rec{d, i}) })
+		}
+		k.Run()
+		if len(got) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1].when > got[i].when {
+				return false
+			}
+			if got[i-1].when == got[i].when && got[i-1].seq > got[i].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromNs(20) != 100 {
+		t.Errorf("FromNs(20) = %d, want 100", FromNs(20))
+	}
+	if FromNs(0.2) != 1 {
+		t.Errorf("FromNs(0.2) = %d, want 1", FromNs(0.2))
+	}
+	if FromNs(0.3) != 2 { // rounds up
+		t.Errorf("FromNs(0.3) = %d, want 2", FromNs(0.3))
+	}
+	if got := Time(100).Ns(); got != 20 {
+		t.Errorf("Time(100).Ns() = %v, want 20", got)
+	}
+	if got := Time(5e9).Seconds(); got != 1 {
+		t.Errorf("Time(5e9).Seconds() = %v, want 1", got)
+	}
+}

@@ -1,0 +1,254 @@
+// Package stats provides the measurement primitives used by the simulation:
+// counters, latency histograms, rates, and the aggregate statistics
+// (geometric means, normalized speedups) reported in the paper's evaluation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event/byte counter.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by v.
+func (c *Counter) Add(v uint64) { c.n += v }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Sample accumulates a stream of values and reports mean/min/max.
+type Sample struct {
+	count uint64
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// Observe adds one value to the sample.
+func (s *Sample) Observe(v float64) {
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.count++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// Count returns the number of observations.
+func (s *Sample) Count() uint64 { return s.count }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 { return s.max }
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Histogram is a log-scaled latency histogram with exact percentile support
+// for moderate observation counts (it additionally retains raw values up to a
+// cap, beyond which percentiles are estimated from buckets).
+type Histogram struct {
+	Sample
+	raw     []float64
+	rawCap  int
+	buckets map[int]uint64 // bucket index = floor(log2(v+1))
+}
+
+// NewHistogram returns a histogram retaining up to rawCap exact values
+// (rawCap <= 0 selects a default of 1<<16).
+func NewHistogram(rawCap int) *Histogram {
+	if rawCap <= 0 {
+		rawCap = 1 << 16
+	}
+	return &Histogram{rawCap: rawCap, buckets: make(map[int]uint64)}
+}
+
+// Observe adds one value.
+func (h *Histogram) Observe(v float64) {
+	h.Sample.Observe(v)
+	if len(h.raw) < h.rawCap {
+		h.raw = append(h.raw, v)
+	}
+	h.buckets[bucketOf(v)]++
+}
+
+func bucketOf(v float64) int {
+	if v < 0 {
+		v = 0
+	}
+	return int(math.Floor(math.Log2(v + 1)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100). When the raw
+// reservoir holds every observation the result is exact; otherwise it falls
+// back to a bucket-midpoint estimate.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if uint64(len(h.raw)) == h.count {
+		sorted := append([]float64(nil), h.raw...)
+		sort.Float64s(sorted)
+		idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	// Bucket estimate.
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for _, k := range keys {
+		cum += h.buckets[k]
+		if cum >= target {
+			lo := math.Exp2(float64(k)) - 1
+			hi := math.Exp2(float64(k+1)) - 1
+			return (lo + hi) / 2
+		}
+	}
+	return h.max
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive entries
+// (matching the paper's geometric-mean speedups). An empty input returns 0.
+func GeoMean(xs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Speedups divides each runtime in base position by the corresponding config
+// runtime: speedup[i] = baseline / runtimes[i].
+func Speedups(baseline float64, runtimes []float64) []float64 {
+	out := make([]float64, len(runtimes))
+	for i, r := range runtimes {
+		if r > 0 {
+			out[i] = baseline / r
+		}
+	}
+	return out
+}
+
+// Table is a simple fixed-column text table used by the sweep harness to
+// print paper figures as rows. It right-aligns numeric cells.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Header) {
+		cells = cells[:len(t.Header)]
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := range t.Header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i == 0 {
+			b.WriteString(strings.Repeat("-", w))
+		} else {
+			b.WriteString("  " + strings.Repeat("-", w))
+		}
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FormatTBs formats a bytes-per-second value as terabytes per second.
+func FormatTBs(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2f", bytesPerSec/1e12)
+}

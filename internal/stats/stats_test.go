@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Value = %d, want 42", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Value after Reset = %d, want 0", c.Value())
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 6} {
+		s.Observe(v)
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Mean() != 4 {
+		t.Errorf("Mean = %v, want 4", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 6 {
+		t.Errorf("Min/Max = %v/%v, want 2/6", s.Min(), s.Max())
+	}
+	want := math.Sqrt(8.0 / 3.0)
+	if math.Abs(s.StdDev()-want) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev(), want)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestHistogramExactPercentiles(t *testing.T) {
+	h := NewHistogram(1000)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{50, 50}, {90, 90}, {99, 99}, {100, 100}, {1, 1},
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestHistogramBucketEstimate(t *testing.T) {
+	h := NewHistogram(10) // force overflow into bucket estimation
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	p50 := h.Percentile(50)
+	// Bucket estimate should land within a factor-of-2 band of the true 500.
+	if p50 < 250 || p50 > 1100 {
+		t.Errorf("bucket-estimated P50 = %v, want within [250, 1100]", p50)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Percentile(50) != 0 {
+		t.Error("empty histogram percentile should be 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 8, 0, -1}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean ignoring non-positives = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) should be 0")
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	s := Speedups(100, []float64{100, 50, 25, 0})
+	want := []float64{1, 2, 4, 0}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("speedup[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	// Property: min <= geomean <= max for positive inputs.
+	f := func(raw []uint16) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			xs = append(xs, float64(v)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h := NewHistogram(1 << 16)
+		for _, v := range raw {
+			h.Observe(float64(v))
+		}
+		prev := -1.0
+		for p := 5.0; p <= 100; p += 5 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Benchmark", "XBar/OCM")
+	tab.AddRow("FFT", "8.10")
+	tab.AddRow("LongBenchmarkName", "1.00")
+	s := tab.String()
+	if !strings.Contains(s, "FFT") || !strings.Contains(s, "8.10") {
+		t.Fatalf("table missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), s)
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("separator width mismatch:\n%s", s)
+	}
+}
+
+func TestFormatTBs(t *testing.T) {
+	if got := FormatTBs(2.5e12); got != "2.50" {
+		t.Errorf("FormatTBs = %q, want 2.50", got)
+	}
+}

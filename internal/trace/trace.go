@@ -1,0 +1,186 @@
+// Package trace defines the annotated L2-miss trace format that connects the
+// two halves of the simulation infrastructure, mirroring the paper's split
+// between COTSon full-system trace generation and the M5-based network
+// simulator (Section 4). Traces carry per-miss timestamps, thread ids,
+// addresses, and read/write direction; the network simulator replays them
+// against an interconnect + memory configuration.
+//
+// The binary format is a fixed header (magic, version, record count) followed
+// by fixed-width little-endian records, so traces are seekable and mmap-able
+// by external tools.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"corona/internal/sim"
+)
+
+// Magic identifies a Corona trace stream.
+const Magic = "CORTRC01"
+
+// Record is one L2 miss or synchronization event.
+type Record struct {
+	// Time is the miss's issue time in 5 GHz cycles.
+	Time sim.Time
+	// Thread is the issuing hardware thread (0..1023 for a full system).
+	Thread uint16
+	// Addr is the physical address; the line's home memory controller is
+	// derived from it.
+	Addr uint64
+	// Write marks stores/writebacks.
+	Write bool
+	// Sync marks an explicit synchronization event (barrier); the replay
+	// engine may align cluster streams on these.
+	Sync bool
+}
+
+const recordBytes = 8 + 2 + 8 + 1 + 1
+
+// Cluster returns the cluster of the record's thread given threads-per-cluster.
+func (r Record) Cluster(threadsPerCluster int) int {
+	return int(r.Thread) / threadsPerCluster
+}
+
+// Writer streams records to an io.Writer. Close (or Flush) must be called to
+// finalize buffered output; the record count is NOT back-patched, so the
+// count written in the header is the count passed to NewWriter (use
+// CountUnknown for streaming).
+type Writer struct {
+	w     *bufio.Writer
+	n     uint64
+	limit uint64
+}
+
+// CountUnknown is the header count for streams whose length isn't known up
+// front; readers then read until EOF.
+const CountUnknown = ^uint64(0)
+
+// NewWriter writes the header for count records (or CountUnknown) and
+// returns a Writer.
+func NewWriter(w io.Writer, count uint64) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], count)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing count: %w", err)
+	}
+	return &Writer{w: bw, limit: count}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if w.limit != CountUnknown && w.n >= w.limit {
+		return fmt.Errorf("trace: writing record %d beyond declared count %d", w.n, w.limit)
+	}
+	var buf [recordBytes]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r.Time))
+	binary.LittleEndian.PutUint16(buf[8:], r.Thread)
+	binary.LittleEndian.PutUint64(buf[10:], r.Addr)
+	buf[18] = boolByte(r.Write)
+	buf[19] = boolByte(r.Sync)
+	if _, err := w.w.Write(buf[:]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush drains buffered output and validates the declared count.
+func (w *Writer) Flush() error {
+	if w.limit != CountUnknown && w.n != w.limit {
+		return fmt.Errorf("trace: wrote %d records, header declared %d", w.n, w.limit)
+	}
+	return w.w.Flush()
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	r     *bufio.Reader
+	count uint64
+	read  uint64
+}
+
+// ErrBadMagic reports a stream that is not a Corona trace.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, ErrBadMagic
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	return &Reader{r: br, count: binary.LittleEndian.Uint64(hdr[:])}, nil
+}
+
+// Count returns the header's declared record count (CountUnknown when the
+// stream was written without one).
+func (r *Reader) Count() uint64 { return r.count }
+
+// Read returns the next record, or io.EOF after the last one.
+func (r *Reader) Read() (Record, error) {
+	if r.count != CountUnknown && r.read >= r.count {
+		return Record{}, io.EOF
+	}
+	var buf [recordBytes]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if r.count == CountUnknown && err == io.EOF {
+				return Record{}, io.EOF
+			}
+			if r.count != CountUnknown {
+				return Record{}, fmt.Errorf("trace: truncated at record %d of %d", r.read, r.count)
+			}
+			return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Record{}, err
+	}
+	r.read++
+	return Record{
+		Time:   sim.Time(binary.LittleEndian.Uint64(buf[0:])),
+		Thread: binary.LittleEndian.Uint16(buf[8:]),
+		Addr:   binary.LittleEndian.Uint64(buf[10:]),
+		Write:  buf[18] != 0,
+		Sync:   buf[19] != 0,
+	}, nil
+}
+
+// ReadAll drains the stream.
+func ReadAll(r *Reader) ([]Record, error) {
+	var recs []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}

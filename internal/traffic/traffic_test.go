@@ -1,0 +1,221 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"corona/internal/sim"
+)
+
+func TestPatternNames(t *testing.T) {
+	if Uniform.String() != "Uniform" || HotSpot.String() != "Hot Spot" ||
+		Tornado.String() != "Tornado" || Transpose.String() != "Transpose" {
+		t.Error("pattern names wrong")
+	}
+}
+
+func TestSyntheticTable(t *testing.T) {
+	specs := Synthetic()
+	if len(specs) != 4 {
+		t.Fatalf("synthetic workloads = %d, want 4 (Table 3)", len(specs))
+	}
+	for _, s := range specs {
+		if s.DefaultRequests != 1_000_000 {
+			t.Errorf("%s requests = %d, want 1M (Table 3)", s.Name, s.DefaultRequests)
+		}
+	}
+}
+
+func TestHotSpotAllToOne(t *testing.T) {
+	g := NewGenerator(Spec{Name: "hs", Kind: HotSpot, HotTarget: 5}, 64, 1)
+	for c := 0; c < 64; c++ {
+		for i := 0; i < 10; i++ {
+			r := g.Next(c)
+			if HomeOf(r.Addr, 64) != 5 {
+				t.Fatalf("hot spot request from %d homed at %d, want 5", c, HomeOf(r.Addr, 64))
+			}
+		}
+	}
+}
+
+func TestTornadoMapping(t *testing.T) {
+	g := NewGenerator(Spec{Name: "tor", Kind: Tornado}, 64, 1)
+	// Cluster (i,j)=(0,0) -> (3,3) = 27 for k=8.
+	r := g.Next(0)
+	if got := HomeOf(r.Addr, 64); got != 27 {
+		t.Fatalf("tornado dest of cluster 0 = %d, want 27", got)
+	}
+	// Cluster (7,7)=63 -> ((7+3)%8,(7+3)%8) = (2,2) = 18.
+	r = g.Next(63)
+	if got := HomeOf(r.Addr, 64); got != 18 {
+		t.Fatalf("tornado dest of cluster 63 = %d, want 18", got)
+	}
+}
+
+func TestTransposeMapping(t *testing.T) {
+	g := NewGenerator(Spec{Name: "tr", Kind: Transpose}, 64, 1)
+	// Cluster (x,y)=(3,1) = 11 -> (1,3) = 25.
+	r := g.Next(11)
+	if got := HomeOf(r.Addr, 64); got != 25 {
+		t.Fatalf("transpose dest of 11 = %d, want 25", got)
+	}
+	// Diagonal maps to itself.
+	r = g.Next(9) // (1,1)
+	if got := HomeOf(r.Addr, 64); got != 9 {
+		t.Fatalf("transpose dest of 9 = %d, want 9", got)
+	}
+}
+
+func TestUniformSpread(t *testing.T) {
+	g := NewGenerator(Spec{Name: "u", Kind: Uniform}, 64, 7)
+	counts := make([]int, 64)
+	const n = 64000
+	for i := 0; i < n; i++ {
+		counts[HomeOf(g.Next(i%64).Addr, 64)]++
+	}
+	for d, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/64) > 0.01 {
+			t.Errorf("destination %d got fraction %v, want ~1/64", d, frac)
+		}
+	}
+}
+
+func TestLocalFraction(t *testing.T) {
+	g := NewGenerator(Spec{Name: "l", Kind: Uniform, LocalFrac: 0.5}, 64, 3)
+	local := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		c := i % 64
+		if HomeOf(g.Next(c).Addr, 64) == c {
+			local++
+		}
+	}
+	frac := float64(local) / n
+	// 0.5 local plus ~1/64 of the uniform remainder.
+	want := 0.5 + 0.5/64
+	if math.Abs(frac-want) > 0.03 {
+		t.Errorf("local fraction = %v, want ~%v", frac, want)
+	}
+}
+
+func TestDemandRate(t *testing.T) {
+	// 1 TB/s over 64 clusters at 88 B/request = ~2.27 req/kcycle/cluster.
+	spec := Spec{Name: "d", Kind: Uniform, DemandTBs: 1}
+	g := NewGenerator(spec, 64, 11)
+	const n = 2000
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		last = g.Next(0).Time
+	}
+	rate := float64(n) / float64(last) // requests per cycle for one cluster
+	want := 1e12 / (WireBytesPerRequest * 5e9) / 64
+	if math.Abs(rate-want)/want > 0.10 {
+		t.Errorf("per-cluster rate = %v req/cycle, want ~%v", rate, want)
+	}
+}
+
+func TestSaturatingSpecIssuesImmediately(t *testing.T) {
+	g := NewGenerator(Spec{Name: "s", Kind: Uniform, DemandTBs: 0}, 64, 1)
+	for i := 0; i < 100; i++ {
+		if r := g.Next(3); r.Time != 0 {
+			t.Fatalf("saturating spec issued at %d, want 0 (paced only by back pressure)", r.Time)
+		}
+	}
+}
+
+func TestPerClusterMonotonicTime(t *testing.T) {
+	g := NewGenerator(Spec{Name: "m", Kind: Uniform, DemandTBs: 0.5}, 64, 5)
+	for c := 0; c < 64; c += 7 {
+		var prev sim.Time
+		for i := 0; i < 500; i++ {
+			r := g.Next(c)
+			if r.Time < prev {
+				t.Fatalf("cluster %d time went backwards: %d < %d", c, r.Time, prev)
+			}
+			prev = r.Time
+		}
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	g := NewGenerator(Spec{Name: "w", Kind: Uniform, WriteFrac: 0.3}, 64, 9)
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next(i % 64).Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("write fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestBurstConcentration(t *testing.T) {
+	spec := Spec{
+		Name: "b", Kind: Uniform, DemandTBs: 1,
+		Burst: &BurstSpec{PeriodCycles: 10000, WindowFrac: 0.2, Boost: 4, Concentration: 0.9},
+	}
+	g := NewGenerator(spec, 64, 13)
+	inWindow := map[int]int{}
+	total := 0
+	for c := 0; c < 64; c++ {
+		for i := 0; i < 200; i++ {
+			r := g.Next(c)
+			if off := uint64(r.Time) % 10000; float64(off) < 2000 {
+				inWindow[HomeOf(r.Addr, 64)]++
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no burst-window requests generated")
+	}
+	// The top destination should dominate the burst window.
+	max := 0
+	for _, c := range inWindow {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(total) < 0.3 {
+		t.Errorf("burst window max-destination share = %v, want >= 0.3 (hot-block concentration)",
+			float64(max)/float64(total))
+	}
+}
+
+func TestThreadIDsWithinCluster(t *testing.T) {
+	g := NewGenerator(Spec{Name: "t", Kind: Uniform}, 64, 2)
+	for i := 0; i < 64; i++ {
+		r := g.Next(5)
+		if r.Cluster(16) != 5 {
+			t.Fatalf("thread %d not in cluster 5", r.Thread)
+		}
+	}
+}
+
+func TestNonSquareClustersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-square cluster count did not panic")
+		}
+	}()
+	NewGenerator(Spec{Name: "x"}, 60, 1)
+}
+
+func TestHomeOfInverse(t *testing.T) {
+	g := NewGenerator(Spec{Name: "h", Kind: Uniform}, 64, 21)
+	rng := sim.NewRand(4)
+	for i := 0; i < 1000; i++ {
+		d := rng.Intn(64)
+		addr := g.addrHomedAt(d, rng)
+		if HomeOf(addr, 64) != d {
+			t.Fatalf("HomeOf(addrHomedAt(%d)) = %d", d, HomeOf(addr, 64))
+		}
+		if addr%64 != 0 {
+			t.Fatal("address not line aligned")
+		}
+	}
+}

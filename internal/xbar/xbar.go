@@ -1,0 +1,215 @@
+// Package xbar models Corona's optical crossbar (Section 3.2.1): a fully
+// connected 64x64 interconnect built from 64 many-writer single-reader DWDM
+// channels laid out as serpentine waveguide bundles.
+//
+// Each cluster owns one channel that only it can read; any cluster may write
+// the channel by modulating the light as it passes. A channel is 256
+// wavelengths (4 bundled waveguides) wide and is modulated on both clock
+// edges, moving 64 bytes — one cache line — per 5 GHz clock, for 2.56 Tb/s
+// per cluster and 20.48 TB/s total. Light is sourced at the channel's home
+// cluster, travels once around the serpentine in 8 clocks, and terminates in
+// the home cluster's detectors, so propagation takes up to 8 clocks
+// depending on sender position. Write access is arbitrated by the all-optical
+// token scheme in package arbiter; receive buffers at the home cluster apply
+// credit-based back pressure to writers.
+package xbar
+
+import (
+	"fmt"
+
+	"corona/internal/arbiter"
+	"corona/internal/noc"
+	"corona/internal/sim"
+)
+
+// Config parameterizes the crossbar.
+type Config struct {
+	Clusters      int // 64
+	BytesPerCycle int // channel payload per cycle (64 = one cache line)
+	TokenSpeed    int // cluster positions the token travels per cycle (8)
+	// InjectQueue is the per-(source,destination) injection FIFO depth.
+	InjectQueue int
+	// RecvBuffer is the per-destination receive buffer depth in messages;
+	// it is the credit pool writers draw from.
+	RecvBuffer int
+}
+
+// DefaultConfig returns the published Corona crossbar parameters.
+func DefaultConfig() Config {
+	return Config{
+		Clusters:      64,
+		BytesPerCycle: 64,
+		TokenSpeed:    8,
+		InjectQueue:   8,
+		RecvBuffer:    16,
+	}
+}
+
+type srcDstQueue struct {
+	msgs   []*noc.Message
+	active bool // head message is progressing through credit/token/transmit
+}
+
+// Crossbar implements noc.Network.
+type Crossbar struct {
+	k   *sim.Kernel
+	cfg Config
+	arb *arbiter.TokenRing
+
+	queues  [][]srcDstQueue // [src][dst]
+	deliver []noc.DeliverFunc
+
+	credits    []int   // per destination channel
+	creditWait [][]int // per destination: src clusters waiting, FIFO
+
+	stats noc.Stats
+	// BusyCycles accumulates channel occupancy for utilization reporting.
+	BusyCycles uint64
+}
+
+var _ noc.Network = (*Crossbar)(nil)
+
+// New builds a crossbar on kernel k.
+func New(k *sim.Kernel, cfg Config) *Crossbar {
+	if cfg.Clusters <= 0 || cfg.BytesPerCycle <= 0 || cfg.InjectQueue <= 0 || cfg.RecvBuffer <= 0 {
+		panic(fmt.Sprintf("xbar: invalid config %+v", cfg))
+	}
+	x := &Crossbar{
+		k:          k,
+		cfg:        cfg,
+		arb:        arbiter.New(k, cfg.Clusters, cfg.Clusters, cfg.TokenSpeed),
+		queues:     make([][]srcDstQueue, cfg.Clusters),
+		deliver:    make([]noc.DeliverFunc, cfg.Clusters),
+		credits:    make([]int, cfg.Clusters),
+		creditWait: make([][]int, cfg.Clusters),
+	}
+	for i := range x.queues {
+		x.queues[i] = make([]srcDstQueue, cfg.Clusters)
+		x.credits[i] = cfg.RecvBuffer
+	}
+	return x
+}
+
+// Name implements noc.Network.
+func (x *Crossbar) Name() string { return "xbar" }
+
+// Clusters implements noc.Network.
+func (x *Crossbar) Clusters() int { return x.cfg.Clusters }
+
+// Stats returns message/byte counters.
+func (x *Crossbar) Stats() noc.Stats { return x.stats }
+
+// Arbiter exposes the token ring for statistics.
+func (x *Crossbar) Arbiter() *arbiter.TokenRing { return x.arb }
+
+// SetDeliver implements noc.Network.
+func (x *Crossbar) SetDeliver(cluster int, fn noc.DeliverFunc) {
+	x.deliver[cluster] = fn
+}
+
+// Send implements noc.Network: enqueue on the (src,dst) injection FIFO.
+// Cluster-local traffic never enters the optics; the hub must handle it
+// without the network, so src == dst panics.
+func (x *Crossbar) Send(m *noc.Message) bool {
+	if err := noc.Validate(m, x.cfg.Clusters); err != nil {
+		panic(err)
+	}
+	if m.Src == m.Dst {
+		panic(fmt.Sprintf("xbar: message %d is cluster-local (src == dst == %d)", m.ID, m.Src))
+	}
+	q := &x.queues[m.Src][m.Dst]
+	if len(q.msgs) >= x.cfg.InjectQueue {
+		return false
+	}
+	m.Inject = x.k.Now()
+	q.msgs = append(q.msgs, m)
+	if !q.active {
+		q.active = true
+		x.advance(m.Src, m.Dst)
+	}
+	return true
+}
+
+// Consume implements noc.Network: the hub drained one message from cluster's
+// receive buffer, freeing a credit. The crossbar has a single buffer pool per
+// cluster, so the message argument is not inspected.
+func (x *Crossbar) Consume(cluster int, _ *noc.Message) {
+	wait := x.creditWait[cluster]
+	if len(wait) > 0 {
+		src := wait[0]
+		x.creditWait[cluster] = wait[1:]
+		// Hand the credit straight to the waiting writer.
+		x.k.Schedule(0, func() { x.haveCredit(src, cluster) })
+		return
+	}
+	x.credits[cluster]++
+	if x.credits[cluster] > x.cfg.RecvBuffer {
+		panic(fmt.Sprintf("xbar: credit overflow at cluster %d", cluster))
+	}
+}
+
+// advance starts the head message of (src,dst) through the credit/token
+// pipeline.
+func (x *Crossbar) advance(src, dst int) {
+	q := &x.queues[src][dst]
+	if len(q.msgs) == 0 {
+		q.active = false
+		return
+	}
+	// Step 1: acquire a receive-buffer credit at dst.
+	if x.credits[dst] > 0 {
+		x.credits[dst]--
+		x.haveCredit(src, dst)
+	} else {
+		x.creditWait[dst] = append(x.creditWait[dst], src)
+	}
+}
+
+// haveCredit is step 2: arbitrate for the destination's channel token.
+func (x *Crossbar) haveCredit(src, dst int) {
+	x.arb.Request(dst, src, func() { x.transmit(src, dst) })
+}
+
+// transmit is step 3: modulate the message onto the channel, release the
+// token with the message tail, and deliver after propagation.
+func (x *Crossbar) transmit(src, dst int) {
+	q := &x.queues[src][dst]
+	m := q.msgs[0]
+	q.msgs = q.msgs[1:]
+
+	tx := sim.Time((m.Size + x.cfg.BytesPerCycle - 1) / x.cfg.BytesPerCycle)
+	prop := x.propagation(src, dst)
+	x.BusyCycles += uint64(tx)
+
+	// Token travels in parallel with the tail of the message.
+	x.k.Schedule(tx, func() {
+		x.arb.Release(dst, src)
+		x.advance(src, dst) // next queued message restarts at credit step
+	})
+	x.k.Schedule(tx+prop, func() {
+		x.stats.Messages++
+		x.stats.Bytes += uint64(m.Size)
+		x.deliver[dst](m)
+	})
+}
+
+// propagation returns the serpentine transit time from src's modulators to
+// dst's (the channel home's) detectors: light travels in cyclically
+// increasing cluster order and covers TokenSpeed positions per cycle,
+// so the farthest writer pays the paper's 8-clock maximum.
+func (x *Crossbar) propagation(src, dst int) sim.Time {
+	d := (dst - src) % x.cfg.Clusters
+	if d <= 0 {
+		d += x.cfg.Clusters
+	}
+	return sim.Time((d + x.cfg.TokenSpeed - 1) / x.cfg.TokenSpeed)
+}
+
+// Utilization returns mean channel occupancy over elapsed cycles across all
+// channels (0..1).
+func (x *Crossbar) Utilization(elapsed sim.Time) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(x.BusyCycles) / (float64(elapsed) * float64(x.cfg.Clusters))
+}
