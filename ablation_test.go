@@ -4,9 +4,13 @@ package corona
 //
 //	go test -bench=Ablation -benchtime=1x
 //
-// Each sub-benchmark runs a fixed-size workload under a parameter sweep and
-// reports the simulated runtime in cycles as a custom metric, so the cost or
-// benefit of the design point reads directly off the bench output.
+// Each benchmark sweeps one parameter and reports the simulated runtime in
+// cycles (or latency in ns) as a custom metric, so the cost or benefit of
+// the design point reads directly off the bench output. The points of each
+// sweep are independent deterministic cells, so they are simulated
+// concurrently on the core worker pool (core.RunCells) before the
+// sub-benchmarks report them — the wall-clock win of the sweep engine
+// applied to the ablation matrix.
 
 import (
 	"fmt"
@@ -16,7 +20,6 @@ import (
 	"corona/internal/core"
 	"corona/internal/memory"
 	"corona/internal/mesh"
-	"corona/internal/sim"
 	"corona/internal/traffic"
 	"corona/internal/xbar"
 )
@@ -26,6 +29,24 @@ const ablationRequests = 10000
 func ablationSpec() traffic.Spec {
 	return traffic.Spec{Name: "ablation", Kind: traffic.Uniform, DemandTBs: 5, WriteFrac: 0.3}
 }
+
+// reportAblation simulates every cell concurrently, then emits one
+// sub-benchmark per point reporting metric(result).
+func reportAblation(b *testing.B, names []string, cells []core.Cell, unit string, metric func(core.Result) float64) {
+	b.Helper()
+	results := core.RunCells(cells, 0)
+	for i := range cells {
+		v := metric(results[i])
+		b.Run(names[i], func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				_ = v
+			}
+			b.ReportMetric(v, unit)
+		})
+	}
+}
+
+func cycles(r core.Result) float64 { return float64(r.Cycles) }
 
 // BenchmarkAblationArbitration compares Corona's optical token-ring
 // arbitration (8 positions/cycle, up to one revolution of wait) against an
@@ -38,88 +59,78 @@ func BenchmarkAblationArbitration(b *testing.B) {
 		{"token-8pos-per-cycle", 8},
 		{"ideal-arbitration", 1 << 20},
 	}
+	var names []string
+	var cells []core.Cell
 	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
-			var cycles sim.Time
-			for i := 0; i < b.N; i++ {
-				xb := xbar.DefaultConfig()
-				xb.TokenSpeed = c.speed
-				cfg := config.Corona()
-				cfg.XBarOverride = &xb
-				cycles = core.Run(cfg, ablationSpec(), ablationRequests, 5).Cycles
-			}
-			b.ReportMetric(float64(cycles), "sim-cycles")
-		})
+		xb := xbar.DefaultConfig()
+		xb.TokenSpeed = c.speed
+		cfg := config.Corona()
+		cfg.XBarOverride = &xb
+		names = append(names, c.name)
+		cells = append(cells, core.Cell{Config: cfg, Spec: ablationSpec(), Requests: ablationRequests, Seed: 5})
 	}
+	reportAblation(b, names, cells, "sim-cycles", cycles)
 }
 
 // BenchmarkAblationXBarWidth sweeps the crossbar channel width (the paper's
 // is 256 λ = 64 B/cycle: one cache line per clock).
 func BenchmarkAblationXBarWidth(b *testing.B) {
+	var names []string
+	var cells []core.Cell
 	for _, width := range []int{16, 32, 64, 128} {
-		b.Run(fmt.Sprintf("bytes-per-cycle-%d", width), func(b *testing.B) {
-			var cycles sim.Time
-			for i := 0; i < b.N; i++ {
-				xb := xbar.DefaultConfig()
-				xb.BytesPerCycle = width
-				cfg := config.Corona()
-				cfg.XBarOverride = &xb
-				cycles = core.Run(cfg, ablationSpec(), ablationRequests, 5).Cycles
-			}
-			b.ReportMetric(float64(cycles), "sim-cycles")
-		})
+		xb := xbar.DefaultConfig()
+		xb.BytesPerCycle = width
+		cfg := config.Corona()
+		cfg.XBarOverride = &xb
+		names = append(names, fmt.Sprintf("bytes-per-cycle-%d", width))
+		cells = append(cells, core.Cell{Config: cfg, Spec: ablationSpec(), Requests: ablationRequests, Seed: 5})
 	}
+	reportAblation(b, names, cells, "sim-cycles", cycles)
 }
 
 // BenchmarkAblationMeshBisection sweeps the electrical mesh link width
 // around the paper's LMesh (8 B/cycle) and HMesh (16 B/cycle) points.
 func BenchmarkAblationMeshBisection(b *testing.B) {
+	var names []string
+	var cells []core.Cell
 	for _, width := range []int{4, 8, 16, 32} {
-		b.Run(fmt.Sprintf("link-bytes-per-cycle-%d", width), func(b *testing.B) {
-			var cycles sim.Time
-			for i := 0; i < b.N; i++ {
-				mc := mesh.HMeshConfig()
-				mc.Name = fmt.Sprintf("mesh-%d", width)
-				mc.BytesPerCycle = width
-				cfg := config.Default(config.HMesh, config.OCM)
-				cfg.MeshOverride = &mc
-				cycles = core.Run(cfg, ablationSpec(), ablationRequests, 5).Cycles
-			}
-			b.ReportMetric(float64(cycles), "sim-cycles")
-		})
+		mc := mesh.HMeshConfig()
+		mc.Name = fmt.Sprintf("mesh-%d", width)
+		mc.BytesPerCycle = width
+		cfg := config.Default(config.HMesh, config.OCM)
+		cfg.MeshOverride = &mc
+		names = append(names, fmt.Sprintf("link-bytes-per-cycle-%d", width))
+		cells = append(cells, core.Cell{Config: cfg, Spec: ablationSpec(), Requests: ablationRequests, Seed: 5})
 	}
+	reportAblation(b, names, cells, "sim-cycles", cycles)
 }
 
 // BenchmarkAblationOCMChain sweeps OCM daisy-chain depth; the un-retimed
 // optical pass-through should cost ~0.2 ns per module on end-to-end latency.
 func BenchmarkAblationOCMChain(b *testing.B) {
+	var names []string
+	var cells []core.Cell
 	for _, depth := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("modules-%d", depth), func(b *testing.B) {
-			var lat float64
-			for i := 0; i < b.N; i++ {
-				mem := memory.OCMConfig()
-				mem.DaisyChain = depth
-				cfg := config.Corona()
-				cfg.MemOverride = &mem
-				lat = core.Run(cfg, ablationSpec(), ablationRequests, 5).MeanLatencyNs
-			}
-			b.ReportMetric(lat, "mean-latency-ns")
-		})
+		mem := memory.OCMConfig()
+		mem.DaisyChain = depth
+		cfg := config.Corona()
+		cfg.MemOverride = &mem
+		names = append(names, fmt.Sprintf("modules-%d", depth))
+		cells = append(cells, core.Cell{Config: cfg, Spec: ablationSpec(), Requests: ablationRequests, Seed: 5})
 	}
+	reportAblation(b, names, cells, "mean-latency-ns", func(r core.Result) float64 { return r.MeanLatencyNs })
 }
 
 // BenchmarkAblationMSHRs sweeps the per-cluster MSHR file size, the knob
 // bounding each cluster's memory-level parallelism.
 func BenchmarkAblationMSHRs(b *testing.B) {
+	var names []string
+	var cells []core.Cell
 	for _, mshrs := range []int{8, 16, 32, 64, 128} {
-		b.Run(fmt.Sprintf("mshrs-%d", mshrs), func(b *testing.B) {
-			var cycles sim.Time
-			for i := 0; i < b.N; i++ {
-				cfg := config.Corona()
-				cfg.MSHRs = mshrs
-				cycles = core.Run(cfg, ablationSpec(), ablationRequests, 5).Cycles
-			}
-			b.ReportMetric(float64(cycles), "sim-cycles")
-		})
+		cfg := config.Corona()
+		cfg.MSHRs = mshrs
+		names = append(names, fmt.Sprintf("mshrs-%d", mshrs))
+		cells = append(cells, core.Cell{Config: cfg, Spec: ablationSpec(), Requests: ablationRequests, Seed: 5})
 	}
+	reportAblation(b, names, cells, "sim-cycles", cycles)
 }

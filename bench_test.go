@@ -14,8 +14,10 @@ package corona
 // the reproduction target. Use cmd/corona-sweep to print the full rows.
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"corona/internal/config"
 	"corona/internal/core"
@@ -29,7 +31,7 @@ import (
 
 // benchRequests is the per-cell request count for figure benches: large
 // enough for stable steady-state shapes, small enough to keep the full
-// 75-cell matrix around a minute.
+// 75-cell matrix in the tens of seconds even sequentially.
 const benchRequests = 8000
 
 var (
@@ -41,10 +43,48 @@ func benchSweep(b *testing.B) *core.Sweep {
 	b.Helper()
 	sweepOnce.Do(func() {
 		s := core.NewSweep(benchRequests, 42)
-		s.Run(nil)
+		s.Run() // parallel engine, GOMAXPROCS workers
 		sweepShared = s
 	})
 	return sweepShared
+}
+
+// BenchmarkSweepEngine times the full 5x15 matrix sequentially (Workers(1))
+// and on the parallel engine, reports the wall-clock speedup, and fails if
+// the two runs' Figure 8-11 tables are not byte-identical — the determinism
+// guarantee asserted at full-matrix scale. One iteration is enough:
+//
+//	go test -bench=SweepEngine -benchtime=1x
+//
+// The 75 cells are embarrassingly parallel (no shared state, no
+// synchronization inside a cell), so the reported "speedup" tracks the
+// host's core count until the longest cells — the saturated LMesh/ECM
+// columns — dominate the tail. On a single-core host it sits at ~1.0,
+// which doubles as a check that the engine itself adds no overhead.
+func BenchmarkSweepEngine(b *testing.B) {
+	const requests = 2000 // smaller cells than benchRequests: this bench pays for the matrix twice
+	for i := 0; i < b.N; i++ {
+		seq := core.NewSweep(requests, 42)
+		t0 := time.Now()
+		seq.Run(core.Workers(1))
+		seqElapsed := time.Since(t0)
+
+		par := core.NewSweep(requests, 42)
+		t1 := time.Now()
+		par.Run()
+		parElapsed := time.Since(t1)
+
+		if seq.Figure8().String() != par.Figure8().String() ||
+			seq.Figure9().String() != par.Figure9().String() ||
+			seq.Figure10().String() != par.Figure10().String() ||
+			seq.Figure11().String() != par.Figure11().String() {
+			b.Fatal("parallel sweep tables differ from sequential")
+		}
+		b.ReportMetric(seqElapsed.Seconds(), "seq-s")
+		b.ReportMetric(parElapsed.Seconds(), "par-s")
+		b.ReportMetric(seqElapsed.Seconds()/parElapsed.Seconds(), "speedup")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	}
 }
 
 // BenchmarkTable1Config regenerates the resource configuration table.

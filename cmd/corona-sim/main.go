@@ -1,12 +1,17 @@
 // Command corona-sim simulates a single (configuration, workload) pair and
 // prints the detailed result: runtime, achieved bandwidth, latency
 // distribution, and power. It can also replay a trace file produced by
-// corona-tracegen.
+// corona-tracegen, or compare one workload across all five configurations.
 //
 // Usage:
 //
 //	corona-sim [-config XBar/OCM] [-workload Uniform] [-requests N] [-seed S]
 //	corona-sim [-config XBar/OCM] -trace file.trc
+//	corona-sim -compare [-workload Uniform] [-requests N] [-seed S]
+//
+// -compare runs the workload on every configuration concurrently (one sweep
+// pool worker per configuration, identical traffic seed for each) and prints
+// the workload's row of Figures 8-10.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"log"
 	"os"
 
+	"corona"
 	"corona/internal/config"
 	"corona/internal/core"
 	"corona/internal/trace"
@@ -46,7 +52,32 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload generator seed")
 	traceFile := flag.String("trace", "", "replay this trace file instead of a synthetic workload")
 	threads := flag.Int("threads-per-cluster", 16, "thread-to-cluster mapping for trace replay")
+	compare := flag.Bool("compare", false, "run the workload on all five configurations in parallel and print the comparison")
 	flag.Parse()
+
+	if *compare {
+		if *traceFile != "" {
+			log.Fatal("-compare runs a synthetic workload on every configuration; it cannot be combined with -trace")
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "config" {
+				fmt.Fprintln(os.Stderr, "note: -config is ignored with -compare (all five configurations run)")
+			}
+		})
+		spec, ok := findWorkload(*wlName)
+		if !ok {
+			log.Fatalf("unknown workload %q", *wlName)
+		}
+		results := corona.CompareConfigs(spec, *requests, *seed)
+		baseline := results[0]
+		fmt.Printf("workload %q, %d requests per configuration, seed %d\n\n", spec.Name, *requests, *seed)
+		fmt.Printf("%-10s  %10s  %9s  %12s  %8s\n", "config", "cycles", "TB/s", "latency(ns)", "speedup")
+		for _, r := range results {
+			fmt.Printf("%-10s  %10d  %9.2f  %12.1f  %8.2f\n",
+				r.Config, r.Cycles, r.AchievedTBs, r.MeanLatencyNs, r.Speedup(baseline))
+		}
+		return
+	}
 
 	cfg, ok := findConfig(*cfgName)
 	if !ok {

@@ -4,11 +4,19 @@
 //
 // Usage:
 //
-//	corona-sweep [-requests N] [-seed S] [-fig 8|9|10|11|all] [-v]
+//	corona-sweep [-requests N] [-seed S] [-workers W] [-cache DIR]
+//	             [-fig 8|9|10|11|all] [-v]
+//
+// The 75 cells are independent deterministic simulations, so the sweep fans
+// them out over a bounded worker pool (GOMAXPROCS workers by default;
+// -workers 1 forces the sequential debugging path). Tables are bit-identical
+// for any worker count — see docs/DETERMINISM.md. With -cache DIR, finished
+// cells are persisted and later runs re-simulate only cells whose
+// (config, workload, requests, seed) key changed.
 //
 // The paper ran 0.6M-240M requests per cell (Table 3); the default here is
-// 20000, which reproduces the shapes in about a minute. Raise -requests for
-// tighter numbers.
+// 20000, which reproduces the shapes in seconds on a multicore machine.
+// Raise -requests for tighter numbers.
 package main
 
 import (
@@ -22,18 +30,26 @@ import (
 
 func main() {
 	requests := flag.Int("requests", 20000, "L2 misses simulated per (config, workload) cell")
-	seed := flag.Uint64("seed", 42, "workload generator seed")
+	seed := flag.Uint64("seed", 42, "sweep base seed (per-workload seeds are derived from it)")
+	workers := flag.Int("workers", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential")
+	cacheDir := flag.String("cache", "", "persist per-cell results in this directory and reuse them across runs")
 	fig := flag.String("fig", "all", "which figure to print: 8, 9, 10, 11, or all")
 	verbose := flag.Bool("v", false, "print per-cell progress")
 	flag.Parse()
 
 	s := core.NewSweep(*requests, *seed)
-	start := time.Now()
-	var progress func(w, c string)
+	opts := []core.Option{core.Workers(*workers), core.CacheDir(*cacheDir)}
 	if *verbose {
-		progress = func(w, c string) { fmt.Fprintf(os.Stderr, "running %s on %s\n", w, c) }
+		opts = append(opts, core.OnProgress(func(p core.Progress) {
+			note := ""
+			if p.Cached {
+				note = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "[%2d/%d] %s on %s%s\n", p.Done, p.Total, p.Workload, p.Config, note)
+		}))
 	}
-	s.Run(progress)
+	start := time.Now()
+	s.Run(opts...)
 	fmt.Fprintf(os.Stderr, "sweep of %d cells x %d requests took %v\n",
 		len(s.Configs)*len(s.Workloads), *requests, time.Since(start).Round(time.Millisecond))
 

@@ -12,13 +12,18 @@
 //     with detailed finite-buffer models of the crossbar, meshes, token
 //     arbitration, hubs, MSHRs, and memory controllers.
 //   - NewSweep runs the paper's full 5-configuration x 15-workload matrix
-//     and renders Figures 8-11 as tables.
+//     and renders Figures 8-11 as tables. Sweep.Run fans the 75 independent
+//     cells out over a bounded worker pool (Workers option, GOMAXPROCS by
+//     default) with derived per-workload seeds, and can persist finished cells
+//     in an on-disk cache (CacheDir option).
 //   - Table1/Table2/Table3/Table4 reproduce the paper's analytic tables.
 //   - ReplayTrace replays an annotated L2-miss trace (package-format traces
 //     are produced by cmd/corona-tracegen or the cluster trace engine).
 //
 // All simulated time is in 5 GHz clock cycles; results report nanoseconds
-// and TB/s. Runs are deterministic for a given seed.
+// and TB/s. Runs are deterministic for a given seed, and sweeps are
+// bit-identical for every worker count — the seed-derivation scheme and the
+// exact guarantee are documented in docs/DETERMINISM.md.
 package corona
 
 import (
@@ -80,8 +85,42 @@ func ReplayTrace(cfg SystemConfig, recs []TraceRecord, threadsPerCluster int) Re
 }
 
 // NewSweep prepares the 5x15 experiment matrix at `requests` misses per
-// cell. Call Run, then Figure8..Figure11 for the tables.
+// cell. Call Run — optionally with Workers, CacheDir, and OnProgress — then
+// Figure8..Figure11 for the tables.
 func NewSweep(requests int, seed uint64) *Sweep { return core.NewSweep(requests, seed) }
+
+// SweepOption configures a Sweep.Run invocation.
+type SweepOption = core.Option
+
+// SweepProgress is the per-cell completion event delivered to OnProgress.
+type SweepProgress = core.Progress
+
+// Workers bounds the sweep worker pool: 0 (the default) means GOMAXPROCS,
+// 1 forces the sequential debugging path. Results are identical either way
+// (docs/DETERMINISM.md).
+func Workers(n int) SweepOption { return core.Workers(n) }
+
+// CacheDir persists finished sweep cells under dir, keyed by
+// (config, workload, requests, seed), so repeated sweeps re-simulate only
+// invalidated cells.
+func CacheDir(dir string) SweepOption { return core.CacheDir(dir) }
+
+// OnProgress registers a serialized per-cell completion callback.
+func OnProgress(fn func(SweepProgress)) SweepOption { return core.OnProgress(fn) }
+
+// CompareConfigs runs spec on all five system configurations concurrently
+// under identical traffic (the seed is used as given, where a sweep derives
+// a per-workload seed from its base seed — either way, every machine in a
+// row faces the same offered stream) and returns results in
+// Configurations() order: one workload's row of Figures 8-10.
+func CompareConfigs(spec Workload, requests int, seed uint64) []Result {
+	combos := config.Combos()
+	cells := make([]core.Cell, len(combos))
+	for i, c := range combos {
+		cells[i] = core.Cell{Config: c, Spec: spec, Requests: requests, Seed: seed}
+	}
+	return core.RunCells(cells, 0)
+}
 
 // Table1 returns the paper's resource configuration table.
 func Table1() *Table { return config.Table1() }

@@ -83,9 +83,48 @@ func TestPublicBudgets(t *testing.T) {
 func TestPublicSweep(t *testing.T) {
 	s := NewSweep(300, 2)
 	s.Workloads = s.Workloads[:1]
-	s.Run(nil)
+	s.Run()
 	if !strings.Contains(s.Figure8().String(), "Uniform") {
 		t.Fatal("Figure 8 missing workload row")
+	}
+}
+
+func TestPublicSweepParallelDeterminism(t *testing.T) {
+	// The façade-level statement of docs/DETERMINISM.md: sequential and
+	// parallel sweeps (with an on-disk cache in the mix) render the same
+	// bytes.
+	render := func(s *Sweep) string {
+		return s.Figure8().String() + s.Figure9().String() +
+			s.Figure10().String() + s.Figure11().String()
+	}
+	mk := func() *Sweep {
+		s := NewSweep(300, 5)
+		s.Workloads = s.Workloads[:2]
+		return s
+	}
+	seq := mk()
+	seq.Run(Workers(1))
+	par := mk()
+	par.Run(Workers(8), CacheDir(t.TempDir()))
+	if render(seq) != render(par) {
+		t.Fatalf("parallel+cached tables differ from sequential:\n%s\n--- want ---\n%s",
+			render(par), render(seq))
+	}
+}
+
+func TestPublicCompareConfigs(t *testing.T) {
+	res := CompareConfigs(SyntheticWorkloads()[0], 800, 3)
+	if len(res) != 5 {
+		t.Fatalf("CompareConfigs returned %d results, want 5", len(res))
+	}
+	for i, cfg := range Configurations() {
+		if res[i].Config != cfg.Name() {
+			t.Fatalf("result %d is %s, want %s (Configurations() order)", i, res[i].Config, cfg.Name())
+		}
+	}
+	if res[4].Cycles >= res[0].Cycles {
+		t.Errorf("XBar/OCM (%d cycles) not faster than LMesh/ECM (%d) under uniform load",
+			res[4].Cycles, res[0].Cycles)
 	}
 }
 

@@ -35,13 +35,12 @@ func main() {
 	fmt.Printf("SPLASH-2 model %q: demand %.2f TB/s, %d simulated misses per configuration\n\n",
 		spec.Name, spec.DemandTBs, requests)
 
-	var baseline corona.Result
+	// All five configurations simulate concurrently on the sweep pool; the
+	// shared seed gives every machine the identical offered traffic.
+	results := corona.CompareConfigs(spec, requests, 3)
+	baseline := results[0]
 	fmt.Printf("%-10s  %10s  %9s  %12s  %8s\n", "config", "cycles", "TB/s", "latency(ns)", "speedup")
-	for i, cfg := range corona.Configurations() {
-		r := corona.RunWorkload(cfg, spec, requests, 3)
-		if i == 0 {
-			baseline = r
-		}
+	for _, r := range results {
 		fmt.Printf("%-10s  %10d  %9.2f  %12.1f  %8.2f\n",
 			r.Config, r.Cycles, r.AchievedTBs, r.MeanLatencyNs, r.Speedup(baseline))
 	}

@@ -185,7 +185,17 @@ func TestSweepSmall(t *testing.T) {
 	s := NewSweep(400, 1)
 	s.Workloads = s.Workloads[:2] // Uniform + Hot Spot only, for speed
 	var runs int
-	s.Run(func(w, c string) { runs++ })
+	var lastDone int
+	s.Run(Workers(1), OnProgress(func(p Progress) {
+		runs++
+		if p.Done != lastDone+1 || p.Total != 10 {
+			t.Errorf("progress %d/%d after %d events", p.Done, p.Total, runs)
+		}
+		lastDone = p.Done
+		if p.Cached {
+			t.Error("cache hit reported with caching disabled")
+		}
+	}))
 	if runs != 2*5 {
 		t.Fatalf("sweep ran %d cells, want 10", runs)
 	}

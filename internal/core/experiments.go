@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"corona/internal/config"
 	"corona/internal/splash"
@@ -42,18 +43,81 @@ func NewSweep(requests int, seed uint64) *Sweep {
 	}
 }
 
-// Run executes the matrix. Progress, if non-nil, is called before each run.
-func (s *Sweep) Run(progress func(workload, cfg string)) {
-	s.Results = make([][]Result, len(s.Workloads))
-	for w, spec := range s.Workloads {
-		s.Results[w] = make([]Result, len(s.Configs))
-		for c, cfg := range s.Configs {
-			if progress != nil {
-				progress(spec.Name, cfg.Name())
-			}
-			s.Results[w][c] = Run(cfg, spec, s.Requests, s.Seed)
-		}
+// Progress describes one completed cell of a running sweep. Callbacks are
+// serialized by the engine and arrive with Done strictly increasing, so a
+// consumer can render "Done/Total" without its own locking, regardless of
+// how many workers are simulating.
+type Progress struct {
+	Done, Total int    // cells finished so far (including this one) / matrix size
+	Workload    string // the cell that just finished
+	Config      string
+	Cached      bool // satisfied from the on-disk cache, not simulated
+}
+
+// runConfig collects the sweep-execution options.
+type runConfig struct {
+	workers  int
+	cacheDir string
+	progress func(Progress)
+}
+
+// Option configures one Sweep.Run invocation.
+type Option func(*runConfig)
+
+// Workers bounds the sweep's worker pool. n <= 0 selects GOMAXPROCS (the
+// default); Workers(1) is the sequential debugging path and the reference
+// against which parallel determinism is asserted.
+func Workers(n int) Option { return func(rc *runConfig) { rc.workers = n } }
+
+// CacheDir enables the on-disk result cache rooted at dir: cells whose
+// (config, workload, requests, seed) key already has a valid entry are
+// loaded instead of simulated, so re-runs only pay for invalidated cells.
+// An empty dir (the default) disables caching.
+func CacheDir(dir string) Option { return func(rc *runConfig) { rc.cacheDir = dir } }
+
+// OnProgress registers a callback invoked after each cell completes. The
+// engine serializes invocations, so fn needs no locking of its own.
+func OnProgress(fn func(Progress)) Option { return func(rc *runConfig) { rc.progress = fn } }
+
+// Run executes the matrix on a bounded worker pool (GOMAXPROCS workers by
+// default — pass Workers(1) for the sequential path). Each cell runs at a
+// seed derived by CellSeed, so the filled Results grid is identical for
+// every worker count and completion order; see docs/DETERMINISM.md.
+func (s *Sweep) Run(opts ...Option) {
+	var rc runConfig
+	for _, opt := range opts {
+		opt(&rc)
 	}
+	nc := len(s.Configs)
+	total := nc * len(s.Workloads)
+	s.Results = make([][]Result, len(s.Workloads))
+	for w := range s.Workloads {
+		s.Results[w] = make([]Result, nc)
+	}
+
+	cache := openCache(rc.cacheDir)
+	var (
+		mu   sync.Mutex // serializes the progress callback and its counter
+		done int
+	)
+	NewPool(rc.workers).Run(total, func(i int) {
+		w, c := i/nc, i%nc
+		cfg, spec := s.Configs[c], s.Workloads[w]
+		seed := CellSeed(s.Seed, spec.Name)
+		res, cached := cache.load(cfg, spec, s.Requests, seed)
+		if !cached {
+			res = Run(cfg, spec, s.Requests, seed)
+			cache.store(cfg, spec, s.Requests, seed, res)
+		}
+		s.Results[w][c] = res
+		if rc.progress != nil {
+			mu.Lock()
+			done++
+			rc.progress(Progress{Done: done, Total: total,
+				Workload: spec.Name, Config: cfg.Name(), Cached: cached})
+			mu.Unlock()
+		}
+	})
 }
 
 // baselineIndex locates LMesh/ECM, the speedup-1 reference.

@@ -9,6 +9,13 @@
 // queues, receive buffers, controller queues) fills — the modelling detail
 // the paper calls out ("finite buffers, queues, and ports ... bandwidth,
 // latency, back pressure, and capacity limits").
+//
+// Sweep is the experiment matrix behind the figures. Its engine fans the
+// independent (configuration, workload) cells out over a bounded,
+// statically sharded worker pool (Pool) with derived per-workload seeds
+// (CellSeed) and an optional on-disk result cache, producing tables that
+// are byte-identical for every worker count; the scheme and its guarantee
+// are documented in docs/DETERMINISM.md.
 package core
 
 import (
