@@ -14,6 +14,7 @@ package corona
 // the reproduction target. Use cmd/corona-sweep to print the full rows.
 
 import (
+	"container/heap"
 	"runtime"
 	"sync"
 	"testing"
@@ -69,10 +70,14 @@ func BenchmarkSweepEngine(b *testing.B) {
 		seq.Run(core.Workers(1))
 		seqElapsed := time.Since(t0)
 
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		par := core.NewSweep(requests, 42)
 		t1 := time.Now()
 		par.Run()
 		parElapsed := time.Since(t1)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 
 		if seq.Figure8().String() != par.Figure8().String() ||
 			seq.Figure9().String() != par.Figure9().String() ||
@@ -80,11 +85,146 @@ func BenchmarkSweepEngine(b *testing.B) {
 			seq.Figure11().String() != par.Figure11().String() {
 			b.Fatal("parallel sweep tables differ from sequential")
 		}
+		// Kernel throughput across the whole matrix: total discrete events
+		// dispatched per wall-clock second of the parallel run, and heap
+		// allocations amortized per event (the wheel kernel's zero-allocation
+		// claim at system scale — remaining allocations are messages and
+		// per-cell setup, not scheduler nodes).
+		var events uint64
+		for _, row := range par.Results {
+			for _, cell := range row {
+				events += cell.KernelEvents
+			}
+		}
+		b.ReportMetric(float64(events)/parElapsed.Seconds(), "events/s")
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(events), "allocs/event")
 		b.ReportMetric(seqElapsed.Seconds(), "seq-s")
 		b.ReportMetric(parElapsed.Seconds(), "par-s")
 		b.ReportMetric(seqElapsed.Seconds()/parElapsed.Seconds(), "speedup")
 		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 	}
+}
+
+// --- Kernel micro-benches: scheduler throughput in isolation. ---
+//
+// The workload is the component steady state: a fixed population of 64
+// self-perpetuating event chains (one per cluster) with mixed 1-16 cycle
+// delays, so every dispatch schedules exactly one successor. Three variants
+// share it: the typed Handler fast path, the closure compatibility path, and
+// a faithful reimplementation of the seed's container/heap kernel as the
+// before/after baseline. docs/PERFORMANCE.md records the numbers.
+
+// kernelChains is the in-flight event population for kernel benches.
+const kernelChains = 64
+
+func kernelNextData(data uint64) uint64 { return data*2654435761 + 12345 }
+
+func kernelDelay(data uint64) sim.Time { return sim.Time(data&15) + 1 }
+
+// benchHandler is the typed-path target: reschedules itself forever;
+// RunLimit bounds the run.
+type benchHandler struct {
+	k *sim.Kernel
+}
+
+func (h *benchHandler) OnEvent(_ sim.Time, data uint64) {
+	h.k.ScheduleEvent(kernelDelay(data), h, kernelNextData(data))
+}
+
+// seedEvent/seedHeap/seedKernel reimplement the pre-wheel kernel —
+// container/heap of captured closures, interface{} boxing on every push and
+// pop — exactly as the seed shipped it, so BenchmarkKernel/seed-heap is the
+// honest baseline for the wheel's speedup claim.
+type seedEvent struct {
+	when sim.Time
+	seq  uint64
+	fn   func()
+}
+
+type seedHeap []seedEvent
+
+func (h seedHeap) Len() int { return len(h) }
+func (h seedHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h seedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *seedHeap) Push(x interface{}) { *h = append(*h, x.(seedEvent)) }
+func (h *seedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type seedKernel struct {
+	pq  seedHeap
+	now sim.Time
+	seq uint64
+}
+
+func (k *seedKernel) Schedule(delay sim.Time, fn func()) {
+	k.seq++
+	heap.Push(&k.pq, seedEvent{when: k.now + delay, seq: k.seq, fn: fn})
+}
+
+func (k *seedKernel) RunLimit(n uint64) {
+	for i := uint64(0); i < n && len(k.pq) > 0; i++ {
+		e := heap.Pop(&k.pq).(seedEvent)
+		k.now = e.when
+		e.fn()
+	}
+}
+
+// BenchmarkKernel compares scheduler paths on the same self-perpetuating
+// workload; events/s is the headline metric, allocs/op the zero-allocation
+// check (typed path: 0 steady-state allocs; closure paths: one closure per
+// event plus queue growth).
+func BenchmarkKernel(b *testing.B) {
+	b.Run("typed", func(b *testing.B) {
+		k := sim.NewKernel()
+		h := &benchHandler{k: k}
+		for i := 0; i < kernelChains; i++ {
+			k.ScheduleEvent(sim.Time(i&15)+1, h, uint64(i)*7919)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		k.RunLimit(uint64(b.N))
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	b.Run("closure", func(b *testing.B) {
+		k := sim.NewKernel()
+		var step func(data uint64)
+		step = func(data uint64) {
+			next := kernelNextData(data)
+			k.Schedule(kernelDelay(data), func() { step(next) })
+		}
+		for i := 0; i < kernelChains; i++ {
+			step(uint64(i) * 7919)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		k.RunLimit(uint64(b.N))
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	b.Run("seed-heap", func(b *testing.B) {
+		k := &seedKernel{}
+		var step func(data uint64)
+		step = func(data uint64) {
+			next := kernelNextData(data)
+			k.Schedule(kernelDelay(data), func() { step(next) })
+		}
+		for i := 0; i < kernelChains; i++ {
+			step(uint64(i) * 7919)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		k.RunLimit(uint64(b.N))
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
 }
 
 // BenchmarkTable1Config regenerates the resource configuration table.

@@ -6,6 +6,7 @@
 //
 //	corona-sweep [-requests N] [-seed S] [-workers W] [-cache DIR]
 //	             [-fig 8|9|10|11|all] [-v]
+//	             [-cpuprofile FILE] [-memprofile FILE]
 //
 // The 75 cells are independent deterministic simulations, so the sweep fans
 // them out over a bounded worker pool (GOMAXPROCS workers by default;
@@ -17,25 +18,61 @@
 // The paper ran 0.6M-240M requests per cell (Table 3); the default here is
 // 20000, which reproduces the shapes in seconds on a multicore machine.
 // Raise -requests for tighter numbers.
+//
+// -cpuprofile and -memprofile write pprof profiles of the sweep (CPU over the
+// whole run, heap at exit) for inspection with `go tool pprof`; see
+// docs/PERFORMANCE.md for the workflow.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"corona/internal/core"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so profile-writing defers always flush before the
+// process exits (os.Exit in main would skip them).
+func run() (code int) {
 	requests := flag.Int("requests", 20000, "L2 misses simulated per (config, workload) cell")
 	seed := flag.Uint64("seed", 42, "sweep base seed (per-workload seeds are derived from it)")
 	workers := flag.Int("workers", 0, "worker pool size; 0 = GOMAXPROCS, 1 = sequential")
 	cacheDir := flag.String("cache", "", "persist per-cell results in this directory and reuse them across runs")
 	fig := flag.String("fig", "all", "which figure to print: 8, 9, 10, 11, or all")
 	verbose := flag.Bool("v", false, "print per-cell progress")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the sweep")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corona-sweep: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "corona-sweep: start CPU profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "corona-sweep: -memprofile: %v\n", err)
+				code = 1
+			}
+		}()
+	}
 
 	s := core.NewSweep(*requests, *seed)
 	opts := []core.Option{core.Workers(*workers), core.CacheDir(*cacheDir)}
@@ -72,4 +109,20 @@ func main() {
 		fmt.Printf("SPLASH-2 geomean speedups:   OCM over ECM (HMesh) = %.2f (paper: 1.80);"+
 			"  XBar over HMesh (OCM) = %.2f (paper: 1.44)\n", a, b)
 	}
+	return 0
+}
+
+// writeHeapProfile snapshots the heap (after a settling GC, so the profile
+// shows retained allocation) into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("write heap profile: %w", err)
+	}
+	return f.Close()
 }

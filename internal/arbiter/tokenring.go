@@ -25,9 +25,19 @@ import (
 // GrantFunc is invoked when a cluster's request for a channel is granted.
 type GrantFunc func()
 
+// GrantHandler is the typed counterpart of GrantFunc: components on the
+// kernel's zero-allocation fast path implement it (usually on the component
+// struct itself) and request with RequestEvent, avoiding a closure per
+// arbitration.
+type GrantHandler interface {
+	// Granted reports that cluster now holds channel's token.
+	Granted(channel, cluster int)
+}
+
 type waiter struct {
 	cluster int
 	grant   GrantFunc
+	h       GrantHandler
 }
 
 type tokenChannel struct {
@@ -47,8 +57,11 @@ type tokenChannel struct {
 	pending []waiter
 	// gen invalidates in-flight grant events after a re-commit.
 	gen uint64
-	// committed is true when a grant event is scheduled.
-	committed bool
+	// committed is true when a grant event is scheduled; commitCluster and
+	// commitWait describe that commitment for the typed grant event.
+	committed     bool
+	commitCluster int
+	commitWait    sim.Time
 }
 
 // TokenRing arbitrates nchan channels among n clusters.
@@ -72,6 +85,11 @@ type TokenRing struct {
 func New(k *sim.Kernel, n, nchan, speed int) *TokenRing {
 	if n <= 0 || nchan <= 0 || speed <= 0 {
 		panic(fmt.Sprintf("arbiter: invalid n=%d nchan=%d speed=%d", n, nchan, speed))
+	}
+	if nchan > 1<<16 {
+		// grantEvent carries the channel index in the data word's low 16 bits.
+		panic(fmt.Sprintf("arbiter: %d channels exceeds the %d-channel event encoding limit",
+			nchan, 1<<16))
 	}
 	t := &TokenRing{k: k, n: n, speed: speed, chans: make([]tokenChannel, nchan)}
 	for i := range t.chans {
@@ -113,6 +131,17 @@ func (c *tokenChannel) posAt(now sim.Time, n, speed int) int {
 // diverted. Multiple outstanding requests from distinct clusters are fine; a
 // cluster must not request a channel it already holds or has pending.
 func (t *TokenRing) Request(channel, cluster int, grant GrantFunc) {
+	t.request(channel, waiter{cluster: cluster, grant: grant})
+}
+
+// RequestEvent is Request on the typed fast path: h.Granted(channel, cluster)
+// runs when the token is diverted, with no closure allocated.
+func (t *TokenRing) RequestEvent(channel, cluster int, h GrantHandler) {
+	t.request(channel, waiter{cluster: cluster, h: h})
+}
+
+func (t *TokenRing) request(channel int, w waiter) {
+	cluster := w.cluster
 	if channel < 0 || channel >= len(t.chans) || cluster < 0 || cluster >= t.n {
 		panic(fmt.Sprintf("arbiter: request channel=%d cluster=%d out of range", channel, cluster))
 	}
@@ -120,12 +149,12 @@ func (t *TokenRing) Request(channel, cluster int, grant GrantFunc) {
 	if c.holder == cluster {
 		panic(fmt.Sprintf("arbiter: cluster %d re-requesting held channel %d", cluster, channel))
 	}
-	for _, w := range c.pending {
-		if w.cluster == cluster {
+	for _, p := range c.pending {
+		if p.cluster == cluster {
 			panic(fmt.Sprintf("arbiter: cluster %d duplicate request for channel %d", cluster, channel))
 		}
 	}
-	c.pending = append(c.pending, waiter{cluster: cluster, grant: grant})
+	c.pending = append(c.pending, w)
 	if c.holder < 0 {
 		t.commit(channel)
 	}
@@ -191,26 +220,51 @@ func (t *TokenRing) commit(channel int) {
 	}
 	c.gen++
 	c.committed = true
-	gen := c.gen
-	w := c.pending[best]
-	wait := bestETA - now
-	t.k.At(bestETA, func() {
-		cc := &t.chans[channel]
-		if cc.gen != gen || cc.holder >= 0 {
-			return // superseded by a re-commit or a release race
+	c.commitCluster = c.pending[best].cluster
+	c.commitWait = bestETA - now
+	// The in-flight grant is a typed kernel event: the channel index and the
+	// commit generation pack into the data word, and the commitment details
+	// live on the channel, so no closure is allocated per arbitration.
+	t.k.AtEvent(bestETA, (*grantEvent)(t), uint64(channel)|(c.gen&genMask)<<genShift)
+}
+
+// genMask truncates the commit generation to the data word's upper bits; a
+// stale event could only alias a live commitment after 2^48 re-commits on one
+// channel, far beyond any simulation's event budget.
+const (
+	genShift = 16
+	genMask  = (1 << (64 - genShift)) - 1
+)
+
+// grantEvent is TokenRing's typed handler for committed grants.
+type grantEvent TokenRing
+
+// OnEvent diverts the token to the committed requester, unless a re-commit
+// or a release race superseded this event.
+func (g *grantEvent) OnEvent(_ sim.Time, data uint64) {
+	t := (*TokenRing)(g)
+	channel := int(data & (1<<genShift - 1))
+	c := &t.chans[channel]
+	if c.gen&genMask != data>>genShift || c.holder >= 0 {
+		return // superseded by a re-commit or a release race
+	}
+	// Divert the token: exclusive grant.
+	c.holder = c.commitCluster
+	c.committed = false
+	// Remove the waiter.
+	var w waiter
+	for i := range c.pending {
+		if c.pending[i].cluster == c.commitCluster {
+			w = c.pending[i]
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			break
 		}
-		// Divert the token: exclusive grant.
-		cc.holder = w.cluster
-		cc.committed = false
-		// Remove the waiter.
-		for i := range cc.pending {
-			if cc.pending[i].cluster == w.cluster {
-				cc.pending = append(cc.pending[:i], cc.pending[i+1:]...)
-				break
-			}
-		}
-		t.Grants++
-		t.WaitCycles += uint64(wait)
+	}
+	t.Grants++
+	t.WaitCycles += uint64(c.commitWait)
+	if w.h != nil {
+		w.h.Granted(channel, c.holder)
+	} else {
 		w.grant()
-	})
+	}
 }

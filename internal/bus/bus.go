@@ -48,6 +48,9 @@ type Bus struct {
 	active  []bool
 	deliver []DeliverFunc
 
+	// slots parks the in-flight broadcast for its per-cluster snoop events.
+	slots sim.Slots[*noc.Message]
+
 	// Broadcasts and Bytes count completed broadcasts.
 	Broadcasts uint64
 	Bytes      uint64
@@ -60,6 +63,11 @@ func New(k *sim.Kernel, cfg Config) *Bus {
 	if cfg.Clusters <= 0 || cfg.BytesPerCycle <= 0 || cfg.InjectQueue <= 0 {
 		panic(fmt.Sprintf("bus: invalid config %+v", cfg))
 	}
+	if cfg.Clusters > 1<<16 {
+		// txDoneEvent/snoopEvent carry cluster ids in 16-bit event data fields.
+		panic(fmt.Sprintf("bus: %d clusters exceeds the %d-cluster event encoding limit",
+			cfg.Clusters, 1<<16))
+	}
 	return &Bus{
 		k:   k,
 		cfg: cfg,
@@ -68,6 +76,48 @@ func New(k *sim.Kernel, cfg Config) *Bus {
 		queues:  make([][]*noc.Message, cfg.Clusters),
 		active:  make([]bool, cfg.Clusters),
 		deliver: make([]DeliverFunc, cfg.Clusters),
+	}
+}
+
+// Bus kernel events run on the typed fast path via named views of the Bus,
+// so a broadcast's release and its 64 snoops schedule without closures.
+
+// Granted implements arbiter.GrantHandler: cluster diverted the bus token and
+// starts modulating its head message.
+func (b *Bus) Granted(_, cluster int) { b.transmit(cluster) }
+
+// txDoneEvent fires when the modulated message's tail leaves the source: the
+// token re-injects, counters update, and any queued broadcast re-arbitrates.
+// The broadcast byte count rides in the upper bits of the data word.
+type txDoneEvent Bus
+
+func (e *txDoneEvent) OnEvent(_ sim.Time, data uint64) {
+	b := (*Bus)(e)
+	src := int(data & 0xffff)
+	b.arb.Release(0, src)
+	if len(b.queues[src]) > 0 {
+		b.arb.RequestEvent(0, src, b)
+	} else {
+		b.active[src] = false
+	}
+	b.Broadcasts++
+	b.Bytes += data >> 16
+}
+
+// snoopEvent fires when the second-pass light reaches one cluster's
+// detectors. The slot index and the snooping cluster share the data word;
+// the last cluster in coil order frees the slot.
+type snoopEvent Bus
+
+func (e *snoopEvent) OnEvent(_ sim.Time, data uint64) {
+	b := (*Bus)(e)
+	slot, j := data>>16, int(data&0xffff)
+	m := b.slots.Get(slot)
+	if j == b.cfg.Clusters-1 {
+		b.slots.Free(slot)
+	}
+	if b.deliver[j] != nil {
+		b.deliver[j](m)
 	}
 }
 
@@ -97,7 +147,7 @@ func (b *Bus) Broadcast(m *noc.Message) bool {
 	b.queues[m.Src] = append(b.queues[m.Src], m)
 	if !b.active[m.Src] {
 		b.active[m.Src] = true
-		b.arb.Request(0, m.Src, func() { b.transmit(m.Src) })
+		b.arb.RequestEvent(0, m.Src, b)
 	}
 	return true
 }
@@ -112,33 +162,19 @@ func (b *Bus) transmit(src int) {
 	tx := sim.Time((m.Size + b.cfg.BytesPerCycle - 1) / b.cfg.BytesPerCycle)
 	b.BusyCycles += uint64(tx)
 
-	b.k.Schedule(tx, func() {
-		b.arb.Release(0, src)
-		if len(b.queues[src]) > 0 {
-			b.arb.Request(0, src, func() { b.transmit(src) })
-		} else {
-			b.active[src] = false
-		}
-	})
+	b.k.ScheduleEvent(tx, (*txDoneEvent)(b), uint64(src)|uint64(m.Size)<<16)
 
 	// The message becomes active when the light enters its second pass: it
 	// must first travel from src to the end of the first pass (the coil's
 	// midpoint), then each cluster j snoops when the light reaches its
 	// second-pass position. Cluster positions on the second pass follow the
 	// same increasing order, so cluster j receives at
-	// (Clusters - src) + j positions after modulation.
+	// (Clusters - src) + j positions after modulation; the last cluster's
+	// snoop event frees the message slot.
+	slot := b.slots.Put(m)
 	for j := 0; j < b.cfg.Clusters; j++ {
 		dist := (b.cfg.Clusters - src) + j
 		prop := sim.Time((dist + b.cfg.TokenSpeed - 1) / b.cfg.TokenSpeed)
-		j := j
-		b.k.Schedule(tx+prop, func() {
-			if b.deliver[j] != nil {
-				b.deliver[j](m)
-			}
-		})
+		b.k.ScheduleEvent(tx+prop, (*snoopEvent)(b), uint64(j)|slot<<16)
 	}
-	b.k.Schedule(tx, func() {
-		b.Broadcasts++
-		b.Bytes += uint64(m.Size)
-	})
 }

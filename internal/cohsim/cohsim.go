@@ -82,6 +82,10 @@ type System struct {
 	busy   map[uint64][]*op
 	nextID uint64
 
+	// opSlots and msgSlots park transactions and messages for typed events.
+	opSlots  sim.Slots[*op]
+	msgSlots sim.Slots[*noc.Message]
+
 	// Latency histograms by transaction flavour, in ns.
 	ReadLatency  *stats.Histogram
 	WriteLatency *stats.Histogram
@@ -124,6 +128,59 @@ func New(cfg Config) *System {
 	return s
 }
 
+// The frequent mechanical events — local-hit commits, network injection with
+// back-pressure retry, bus injection, serving the next line waiter — run on
+// the kernel's typed fast path via named views of the System. The protocol's
+// continuation chains (the `at` callbacks threaded through message payloads)
+// stay on the closure compatibility path.
+
+// localHitEvent commits a transaction that its own cache already satisfies,
+// after the hub look-up latency.
+type localHitEvent System
+
+func (e *localHitEvent) OnEvent(_ sim.Time, data uint64) {
+	s := (*System)(e)
+	o := s.opSlots.Take(data)
+	if o.write {
+		s.proto.Write(o.node, o.line) // silent E -> M upgrade
+	}
+	s.commit(o)
+}
+
+// netSendEvent (re)tries injecting a parked message into the crossbar,
+// rescheduling itself while the injection queue exerts back pressure.
+type netSendEvent System
+
+func (e *netSendEvent) OnEvent(_ sim.Time, data uint64) {
+	s := (*System)(e)
+	if !s.net.Send(s.msgSlots.Get(data)) {
+		s.K.ScheduleEvent(2, e, data)
+		return
+	}
+	s.msgSlots.Free(data)
+}
+
+// busSendEvent is netSendEvent for the broadcast bus.
+type busSendEvent System
+
+func (e *busSendEvent) OnEvent(_ sim.Time, data uint64) {
+	s := (*System)(e)
+	if !s.bus.Broadcast(s.msgSlots.Get(data)) {
+		s.K.ScheduleEvent(2, e, data)
+		return
+	}
+	s.msgSlots.Free(data)
+}
+
+// serveEvent starts the directory side of the next queued transaction on a
+// just-released line.
+type serveEvent System
+
+func (e *serveEvent) OnEvent(_ sim.Time, data uint64) {
+	s := (*System)(e)
+	s.serve(s.opSlots.Take(data))
+}
+
 // Protocol exposes the underlying state machine (for invariant checks).
 func (s *System) Protocol() *coherence.Protocol { return s.proto }
 
@@ -149,12 +206,7 @@ func (s *System) Access(node int, line uint64, write bool, done func()) {
 	st := s.proto.StateOf(node, line)
 	if (!write && st != coherence.Invalid) ||
 		(write && (st == coherence.Modified || st == coherence.Exclusive)) {
-		s.K.Schedule(s.cfg.HubCycles, func() {
-			if write {
-				s.proto.Write(node, line) // silent E -> M upgrade
-			}
-			s.commit(o)
-		})
+		s.K.ScheduleEvent(s.cfg.HubCycles, (*localHitEvent)(s), s.opSlots.Put(o))
 		return
 	}
 	// Request travels to the home directory.
@@ -172,13 +224,9 @@ func (s *System) sendOrLocal(from, to int, kind noc.Kind, size int, at func()) {
 	}
 	s.nextID++
 	m := &noc.Message{ID: s.nextID, Src: from, Dst: to, Kind: kind, Size: size, Payload: at}
-	var try func()
-	try = func() {
-		if !s.net.Send(m) {
-			s.K.Schedule(2, try)
-		}
+	if !s.net.Send(m) {
+		s.K.ScheduleEvent(2, (*netSendEvent)(s), s.msgSlots.Put(m))
 	}
-	try()
 }
 
 // deliver dispatches a crossbar arrival: the payload carries the
@@ -276,13 +324,9 @@ func (s *System) serve(o *op) {
 			ID: o.id, Src: home, Dst: -1,
 			Kind: noc.KindInvalidate, Size: noc.RequestBytes, Payload: o,
 		}
-		var try func()
-		try = func() {
-			if !s.bus.Broadcast(inv) {
-				s.K.Schedule(2, try)
-			}
+		if !s.bus.Broadcast(inv) {
+			s.K.ScheduleEvent(2, (*busSendEvent)(s), s.msgSlots.Put(inv))
 		}
-		try()
 		return
 	}
 	for _, h := range holders {
@@ -321,7 +365,7 @@ func (s *System) commitAtRequester(o *op) {
 		} else {
 			next := q[0]
 			s.busy[o.line] = q[1:]
-			s.K.Schedule(s.cfg.HubCycles, func() { s.serve(next) })
+			s.K.ScheduleEvent(s.cfg.HubCycles, (*serveEvent)(s), s.opSlots.Put(next))
 		}
 	}
 }

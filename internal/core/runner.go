@@ -36,6 +36,10 @@ type Result struct {
 	NetBytes      uint64
 	HopTraversals uint64
 	XBarUtil      float64
+	// KernelEvents is the number of discrete events the simulation kernel
+	// dispatched to produce this cell — the denominator for simulator
+	// throughput (events/sec) reporting.
+	KernelEvents uint64
 }
 
 // Speedup returns other's runtime divided by r's (how much faster r is).
@@ -126,6 +130,16 @@ func NewTraceRunner(sys *System, recs []trace.Record, threadsPerCluster int) *Ru
 	return r
 }
 
+// issueWake is the runner's typed timed wake-up: the cluster's next record
+// lies in the future, so issue resumes when the clock reaches it.
+type issueWake Runner
+
+func (e *issueWake) OnEvent(_ sim.Time, data uint64) {
+	r := (*Runner)(e)
+	r.waiting[data] = false
+	r.pump(int(data))
+}
+
 // pump issues as many of cluster's trace records as timestamps and MSHR
 // capacity allow.
 func (r *Runner) pump(cluster int) {
@@ -139,10 +153,7 @@ func (r *Runner) pump(cluster int) {
 		if rec.Time > r.sys.K.Now() {
 			if !r.waiting[cluster] {
 				r.waiting[cluster] = true
-				r.sys.K.At(rec.Time, func() {
-					r.waiting[cluster] = false
-					r.pump(cluster)
-				})
+				r.sys.K.AtEvent(rec.Time, (*issueWake)(r), uint64(cluster))
 			}
 			return
 		}
@@ -184,6 +195,7 @@ func (r *Runner) collect() Result {
 		NetMessages:   ns.Messages,
 		NetBytes:      ns.Bytes,
 		HopTraversals: ns.HopTraversals,
+		KernelEvents:  sys.K.Executed(),
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		res.AchievedTBs = float64(sys.WireBytes) / sec / 1e12

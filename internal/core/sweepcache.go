@@ -15,7 +15,9 @@ import (
 // cacheSchema versions the cached-entry layout. Bump it whenever Result
 // gains, loses, or reinterprets a field, so stale entries miss instead of
 // resurfacing with wrong shapes.
-const cacheSchema = 1
+//
+// Schema 2: Result gained KernelEvents (time-wheel kernel PR).
+const cacheSchema = 2
 
 // cacheEntry is the on-disk form of one sweep cell. The fingerprint — the
 // full JSON of the cell's parameters, not just its labels — is stored

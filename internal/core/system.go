@@ -61,6 +61,9 @@ type System struct {
 	completed int
 	nextID    uint64
 
+	// txnSlots parks in-flight transactions for the hubs' typed events.
+	txnSlots sim.Slots[*txn]
+
 	// onMSHRFree, when set, is called with the cluster id whenever that
 	// cluster retires a transaction; the runner uses it to resume issue.
 	onMSHRFree func(cluster int)
@@ -76,6 +79,53 @@ type hub struct {
 	// the MSHR file already bounds the cluster's outstanding work.
 	outq     [][]*noc.Message
 	outArmed []bool
+}
+
+// Hub kernel events run on the typed fast path via named views of the hub,
+// with the transaction parked in the system's slot registry.
+
+// submitLocalEvent pushes a cluster-local miss into the memory controller
+// after the hub traversal.
+type submitLocalEvent hub
+
+func (e *submitLocalEvent) OnEvent(_ sim.Time, data uint64) {
+	h := (*hub)(e)
+	h.submitLocal(h.sys.txnSlots.Take(data))
+}
+
+// pumpRetryEvent re-drives a back-pressured injection queue.
+type pumpRetryEvent hub
+
+func (e *pumpRetryEvent) OnEvent(_ sim.Time, data uint64) {
+	h := (*hub)(e)
+	h.outArmed[data] = false
+	h.pumpOut(int(data))
+}
+
+// respondEvent is the memory controller's typed completion for remote
+// transactions: send the response back over the network.
+type respondEvent hub
+
+func (e *respondEvent) OnEvent(_ sim.Time, data uint64) {
+	h := (*hub)(e)
+	h.respond(h.sys.txnSlots.Take(data))
+}
+
+// localDoneEvent is the completion for cluster-local transactions: the
+// response crosses only the hub, then the transaction retires.
+type localDoneEvent hub
+
+func (e *localDoneEvent) OnEvent(_ sim.Time, data uint64) {
+	h := (*hub)(e)
+	h.sys.K.ScheduleEvent(sim.Time(h.sys.Cfg.HubLatency), (*retireEvent)(h), data)
+}
+
+// retireEvent completes a transaction at its requesting cluster.
+type retireEvent hub
+
+func (e *retireEvent) OnEvent(_ sim.Time, data uint64) {
+	h := (*hub)(e)
+	h.sys.retire(h.sys.txnSlots.Take(data))
 }
 
 // NewSystem builds a machine per cfg.
@@ -148,7 +198,7 @@ func (s *System) Issue(cluster int, addr uint64, write bool) bool {
 	}
 	if t.home == cluster {
 		// Local transaction: hub -> MC directly, no network.
-		s.K.Schedule(sim.Time(s.Cfg.HubLatency), func() { s.hubs[cluster].submitLocal(t) })
+		s.K.ScheduleEvent(sim.Time(s.Cfg.HubLatency), (*submitLocalEvent)(h), s.txnSlots.Put(t))
 		return true
 	}
 	h.send(reqMsg(t))
@@ -182,10 +232,7 @@ func (h *hub) pumpOut(dst int) {
 		if !h.sys.Net.Send(h.outq[dst][0]) {
 			if !h.outArmed[dst] {
 				h.outArmed[dst] = true
-				h.sys.K.Schedule(2, func() {
-					h.outArmed[dst] = false
-					h.pumpOut(dst)
-				})
+				h.sys.K.ScheduleEvent(2, (*pumpRetryEvent)(h), uint64(dst))
 			}
 			return
 		}
@@ -211,7 +258,7 @@ func (h *hub) deliver(m *noc.Message) {
 // holding the network receive-buffer credit until the controller accepts —
 // that is how controller congestion back-pressures the interconnect.
 func (h *hub) submitRemote(t *txn, m *noc.Message) {
-	if h.trySubmit(t, func() { h.respond(t) }) {
+	if h.trySubmit(t, (*respondEvent)(h)) {
 		h.sys.Net.Consume(h.id, m)
 		return
 	}
@@ -219,24 +266,22 @@ func (h *hub) submitRemote(t *txn, m *noc.Message) {
 }
 
 // submitLocal pushes a cluster-local request into the MC, retrying while the
-// queue is full.
+// queue is full. Its completion crosses only the hub, not the network.
 func (h *hub) submitLocal(t *txn) {
-	done := func() {
-		// Response crosses only the hub, not the network.
-		h.sys.K.Schedule(sim.Time(h.sys.Cfg.HubLatency), func() { h.sys.retire(t) })
-	}
-	if h.trySubmit(t, done) {
+	if h.trySubmit(t, (*localDoneEvent)(h)) {
 		return
 	}
 	h.sys.MCs[h.id].NotifySpace(func() { h.submitLocal(t) })
 }
 
-func (h *hub) trySubmit(t *txn, done func()) bool {
+func (h *hub) trySubmit(t *txn, done sim.Handler) bool {
+	slot := h.sys.txnSlots.Put(t)
 	req := &memory.Request{
-		ID:    t.id,
-		Addr:  t.line * noc.LineBytes,
-		Write: t.write,
-		Done:  done,
+		ID:          t.id,
+		Addr:        t.line * noc.LineBytes,
+		Write:       t.write,
+		DoneHandler: done,
+		DoneData:    slot,
 	}
 	if t.write {
 		req.ReqBytes = noc.WritebackBytes
@@ -245,7 +290,11 @@ func (h *hub) trySubmit(t *txn, done func()) bool {
 		req.ReqBytes = noc.RequestBytes
 		req.RspBytes = noc.ResponseBytes
 	}
-	return h.sys.MCs[h.id].Submit(req)
+	if !h.sys.MCs[h.id].Submit(req) {
+		h.sys.txnSlots.Free(slot)
+		return false
+	}
+	return true
 }
 
 // respond sends the completion back to the requester (full line for reads, a

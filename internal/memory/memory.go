@@ -114,8 +114,12 @@ type Request struct {
 	ReqBytes int
 	RspBytes int
 	// Done is called when the transaction completes (data returned for reads,
-	// write committed for writes).
-	Done func()
+	// write committed for writes). DoneHandler, when non-nil, is the typed
+	// completion path instead: DoneHandler.OnEvent(now, DoneData) runs with no
+	// closure allocated.
+	Done        func()
+	DoneHandler sim.Handler
+	DoneData    uint64
 }
 
 // link is a serially reusable channel resource. Because the controller
@@ -169,6 +173,35 @@ func (l *link) reserve(now, at sim.Time, bytes int, bytesPerCycle float64) (star
 	return t, t + dur
 }
 
+// inflightReq is one submitted transaction awaiting its finish event.
+type inflightReq struct {
+	r     *Request
+	start sim.Time
+}
+
+// finishEvent is the controller's typed completion handler: it fires at a
+// transaction's finish time with the inflight slot index as data.
+type finishEvent Controller
+
+func (e *finishEvent) OnEvent(now sim.Time, data uint64) {
+	c := (*Controller)(e)
+	f := c.inflight.Take(data)
+	c.queued--
+	if len(c.waiters) > 0 {
+		fn := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		c.k.Schedule(0, fn)
+	}
+	c.Served++
+	c.BytesMoved += uint64(f.r.ReqBytes + f.r.RspBytes)
+	c.TotalLatency += now - f.start
+	if f.r.DoneHandler != nil {
+		f.r.DoneHandler.OnEvent(now, f.r.DoneData)
+	} else if f.r.Done != nil {
+		f.r.Done()
+	}
+}
+
 // Controller is one cluster's memory controller plus its external channel
 // and DRAM banks. The controller is the bus master: all channel scheduling is
 // done here, with no arbitration (Section 3.3).
@@ -184,6 +217,9 @@ type Controller struct {
 
 	queued  int
 	waiters []func()
+
+	// inflight parks (request, issue time) pairs for the typed finish event.
+	inflight sim.Slots[inflightReq]
 
 	// Stats.
 	Served     uint64
@@ -252,25 +288,8 @@ func (c *Controller) Submit(r *Request) bool {
 	c.banks[bank] = bankStart + c.cfg.BankBusy
 	accessDone := bankStart + c.cfg.AccessCycles
 
-	finish := func(done sim.Time) {
-		c.k.At(done, func() {
-			c.queued--
-			if len(c.waiters) > 0 {
-				fn := c.waiters[0]
-				c.waiters = c.waiters[1:]
-				c.k.Schedule(0, fn)
-			}
-			c.Served++
-			c.BytesMoved += uint64(r.ReqBytes + r.RspBytes)
-			c.TotalLatency += done - start
-			if r.Done != nil {
-				r.Done()
-			}
-		})
-	}
-
 	if r.Write {
-		finish(accessDone)
+		c.k.AtEvent(accessDone, (*finishEvent)(c), c.inflight.Put(inflightReq{r: r, start: start}))
 		return true
 	}
 	// 3. Read data return on the outbound direction (or the shared fiber).
@@ -279,7 +298,7 @@ func (c *Controller) Submit(r *Request) bool {
 		bpc = c.cfg.InBytesPerCycle
 	}
 	_, dataEnd := c.outLink.reserve(c.k.Now(), accessDone+c.chainDelay(), r.RspBytes, bpc)
-	finish(dataEnd)
+	c.k.AtEvent(dataEnd, (*finishEvent)(c), c.inflight.Put(inflightReq{r: r, start: start}))
 	return true
 }
 

@@ -114,12 +114,86 @@ type Mesh struct {
 	// InjectQueue.
 	injectCount [][]int
 
+	// slots parks in-flight packets for the typed hop/eject events.
+	slots sim.Slots[*packet]
+
 	stats noc.Stats
 	// LinkBusyCycles accumulates occupancy across all links for utilization.
 	LinkBusyCycles uint64
 }
 
 var _ noc.Network = (*Mesh)(nil)
+
+// Mesh kernel events run on the typed fast path via named views of the Mesh:
+// port references, classes, and packet slot indices pack into the data word,
+// so the per-hop pipeline — the busiest scheduler client in the mesh
+// configurations — allocates nothing in steady state.
+
+// packRef packs an output-port reference (and optionally a class) into a
+// handler data word: dir in the low 3 bits, router above it, class at bit 20.
+func packRef(ref portRef) uint64 { return uint64(ref.router)<<3 | uint64(ref.d) }
+
+func unpackRef(data uint64) portRef {
+	return portRef{router: int(data >> 3 & 0x1ffff), d: dir(data & 7)}
+}
+
+// wakeEvent is a deferred tryGrant on a busy port.
+type wakeEvent Mesh
+
+func (e *wakeEvent) OnEvent(now sim.Time, data uint64) {
+	m := (*Mesh)(e)
+	ref := unpackRef(data)
+	p := &m.ports[ref.router][ref.d]
+	if p.wakeAt == now {
+		p.wakeSet = false
+	}
+	m.tryGrant(ref)
+}
+
+// creditEvent returns an input-buffer credit to the upstream port once the
+// packet's tail has left the router.
+type creditEvent Mesh
+
+func (e *creditEvent) OnEvent(_ sim.Time, data uint64) {
+	m := (*Mesh)(e)
+	ref := unpackRef(data)
+	class := int(data >> 20 & 1)
+	m.ports[ref.router][ref.d].credits[class]++
+	m.tryGrant(ref)
+}
+
+// injectDoneEvent frees the source cluster's injection-FIFO slot.
+type injectDoneEvent Mesh
+
+func (e *injectDoneEvent) OnEvent(_ sim.Time, data uint64) {
+	m := (*Mesh)(e)
+	m.injectCount[int(data&0xffff)][int(data>>20&1)]--
+}
+
+// hopEvent advances a packet's head into the next router (cut-through).
+type hopEvent Mesh
+
+func (e *hopEvent) OnEvent(_ sim.Time, data uint64) {
+	m := (*Mesh)(e)
+	p := m.slots.Take(data)
+	p.stage++
+	next := p.path[p.stage]
+	np := &m.ports[next.router][next.d]
+	np.q[p.class] = append(np.q[p.class], p)
+	m.tryGrant(next)
+}
+
+// ejectEvent delivers a packet's tail into the destination hub.
+type ejectEvent Mesh
+
+func (e *ejectEvent) OnEvent(_ sim.Time, data uint64) {
+	m := (*Mesh)(e)
+	p := m.slots.Take(data)
+	m.stats.Messages++
+	m.stats.Bytes += uint64(p.m.Size)
+	m.stats.HopTraversals += uint64(p.m.Hops)
+	m.deliver[p.m.Dst](p.m)
+}
 
 // New builds a mesh on kernel k.
 func New(k *sim.Kernel, cfg Config) *Mesh {
@@ -128,6 +202,13 @@ func New(k *sim.Kernel, cfg Config) *Mesh {
 		panic(fmt.Sprintf("mesh: invalid config %+v", cfg))
 	}
 	n := cfg.Width * cfg.Height
+	if n > 1<<16 {
+		// Event data words carry router/cluster ids in 16-bit fields
+		// (injectDoneEvent) and 17-bit fields (packRef); beyond the
+		// narrowest, ids would silently alias.
+		panic(fmt.Sprintf("mesh: %dx%d exceeds the %d-router event encoding limit",
+			cfg.Width, cfg.Height, 1<<16))
+	}
 	m := &Mesh{
 		k: k, cfg: cfg, n: n,
 		ports:       make([][]outPort, n),
@@ -269,7 +350,9 @@ func (m *Mesh) tryGrant(ref portRef) {
 	}
 }
 
-// wake schedules a deferred tryGrant, deduplicating redundant wake-ups.
+// wake schedules a deferred tryGrant, deduplicating redundant wake-ups. The
+// wake event compares the port's wakeAt against its own firing time, which
+// is exactly the `at` it was scheduled for.
 func (m *Mesh) wake(ref portRef, at sim.Time) {
 	port := &m.ports[ref.router][ref.d]
 	if port.wakeSet && port.wakeAt <= at {
@@ -277,13 +360,7 @@ func (m *Mesh) wake(ref portRef, at sim.Time) {
 	}
 	port.wakeSet = true
 	port.wakeAt = at
-	m.k.At(at, func() {
-		p := &m.ports[ref.router][ref.d]
-		if p.wakeAt == at {
-			p.wakeSet = false
-		}
-		m.tryGrant(ref)
-	})
+	m.k.AtEvent(at, (*wakeEvent)(m), packRef(ref))
 }
 
 func (m *Mesh) grant(ref portRef, port *outPort, p *packet) {
@@ -299,33 +376,17 @@ func (m *Mesh) grant(ref portRef, port *outPort, p *packet) {
 	// packet's tail leaves this router.
 	if p.stage > 0 {
 		prev := p.path[p.stage-1]
-		m.k.Schedule(s, func() {
-			m.ports[prev.router][prev.d].credits[p.class]++
-			m.tryGrant(prev)
-		})
+		m.k.ScheduleEvent(s, (*creditEvent)(m), packRef(prev)|uint64(p.class)<<20)
 	} else {
-		m.k.Schedule(s, func() {
-			m.injectCount[p.m.Src][p.class]--
-		})
+		m.k.ScheduleEvent(s, (*injectDoneEvent)(m), uint64(p.m.Src)|uint64(p.class)<<20)
 	}
 
 	if ref.d == dirEject {
 		// Tail reaches the hub after head latency plus serialization.
-		m.k.Schedule(m.cfg.HopLatency+s, func() {
-			m.stats.Messages++
-			m.stats.Bytes += uint64(p.m.Size)
-			m.stats.HopTraversals += uint64(p.m.Hops)
-			m.deliver[ref.router](p.m)
-		})
+		m.k.ScheduleEvent(m.cfg.HopLatency+s, (*ejectEvent)(m), m.slots.Put(p))
 	} else {
 		// Head arrives at the next router after HopLatency (cut-through).
-		m.k.Schedule(m.cfg.HopLatency, func() {
-			p.stage++
-			next := p.path[p.stage]
-			np := &m.ports[next.router][next.d]
-			np.q[p.class] = append(np.q[p.class], p)
-			m.tryGrant(next)
-		})
+		m.k.ScheduleEvent(m.cfg.HopLatency, (*hopEvent)(m), m.slots.Put(p))
 	}
 	// The link frees after the tail passes.
 	m.wake(ref, now+s)

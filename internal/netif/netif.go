@@ -74,9 +74,31 @@ type Link struct {
 	active    bool
 	deliver   func(*Packet)
 
+	// slots parks in-flight packets for the typed arrival event.
+	slots sim.Slots[*Packet]
+
 	// Sent and Bytes count completed transfers.
 	Sent  uint64
 	Bytes uint64
+}
+
+// The link's kernel events run on the typed fast path via named views of the
+// Link, so the pump/arrival cycle schedules without closures.
+
+// pumpEvent starts (or continues) serializing the outbound queue.
+type pumpEvent Link
+
+func (e *pumpEvent) OnEvent(_ sim.Time, _ uint64) { (*Link)(e).pump() }
+
+// arriveEvent fires when a packet's tail reaches the remote detectors.
+type arriveEvent Link
+
+func (e *arriveEvent) OnEvent(_ sim.Time, data uint64) {
+	l := (*Link)(e)
+	p := l.slots.Take(data)
+	l.Sent++
+	l.Bytes += uint64(p.Size)
+	l.deliver(p)
 }
 
 // NewLink builds a link on kernel k delivering into the remote stack's
@@ -103,7 +125,7 @@ func (l *Link) Send(p *Packet) bool {
 	l.queue = append(l.queue, p)
 	if !l.active {
 		l.active = true
-		l.k.Schedule(0, l.pump)
+		l.k.ScheduleEvent(0, (*pumpEvent)(l), 0)
 	}
 	return true
 }
@@ -118,12 +140,8 @@ func (l *Link) pump() {
 	l.queue = l.queue[1:]
 	tx := sim.Time((p.Size + l.cfg.BytesPerCycle - 1) / l.cfg.BytesPerCycle)
 	prop := l.cfg.PropagationCycles()
-	l.k.Schedule(tx+prop, func() {
-		l.Sent++
-		l.Bytes += uint64(p.Size)
-		l.deliver(p)
-	})
-	l.k.Schedule(tx, l.pump)
+	l.k.ScheduleEvent(tx+prop, (*arriveEvent)(l), l.slots.Put(p))
+	l.k.ScheduleEvent(tx, (*pumpEvent)(l), 0)
 }
 
 // Pair is a full-duplex stack-to-stack connection.

@@ -3,14 +3,23 @@
 //
 // Simulated time is measured in processor clock cycles at 5 GHz (the Corona
 // core frequency, Table 1 of the paper), so one cycle is 0.2 ns. Components
-// schedule closures at absolute or relative times; the kernel executes them
-// in time order, breaking ties by scheduling order so that runs are fully
+// schedule work at absolute or relative times; the kernel executes it in
+// time order, breaking ties by scheduling order so that runs are fully
 // deterministic for a given seed.
+//
+// The scheduler is a hierarchical time wheel (calendar queue) with an
+// overflow heap, dispatching from pooled intrusive event nodes: steady-state
+// scheduling allocates nothing and both Schedule and Step are O(1) for the
+// near-future events that dominate cycle-accurate models. Components on the
+// hot path use the typed ScheduleEvent/Handler fast path instead of closure
+// capture; Schedule(delay, func()) remains as the compatibility path. The
+// layout, the ordering guarantee, and the measured win over the former
+// container/heap kernel are documented in docs/PERFORMANCE.md.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Time is a simulation timestamp in 5 GHz clock cycles.
@@ -41,60 +50,102 @@ func FromNs(ns float64) Time {
 	return t
 }
 
-type event struct {
+// Handler is the typed event target: the kernel's zero-allocation fast path.
+// Implementations are small pointer-shaped types (typically a named type over
+// the component struct), so storing one in the interface does not allocate;
+// the uint64 data word carries the event's packed operands (cluster ids, slot
+// indices from Slots, sizes).
+type Handler interface {
+	// OnEvent runs the event at simulation time now with the data word it was
+	// scheduled with.
+	OnEvent(now Time, data uint64)
+}
+
+// eventNode is one scheduled event. Nodes are intrusive (next links the
+// wheel's bucket FIFOs and the kernel free list) and pooled, so steady-state
+// scheduling performs no allocation. Exactly one of h and fn is set.
+type eventNode struct {
 	when Time
 	seq  uint64
+	next *eventNode
+
+	h    Handler
+	data uint64
 	fn   func()
 }
 
-type eventHeap []event
+// Wheel geometry: three levels of 256 power-of-two cycle buckets. Level L
+// buckets are 256^L cycles wide, so the wheel spans 2^24 cycles (~3.4 ms of
+// simulated time) before the overflow heap takes over.
+const (
+	wheelBits   = 8
+	wheelSize   = 1 << wheelBits
+	wheelMask   = wheelSize - 1
+	wheelLevels = 3
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
+	span0 = Time(1) << wheelBits       // level-0 window: 256 one-cycle buckets
+	span1 = Time(1) << (2 * wheelBits) // level-1 span: 256 buckets of 256 cycles
+	span2 = Time(1) << (3 * wheelBits) // level-2 span: 256 buckets of 65536 cycles
+)
+
+// bucketList is a FIFO of event nodes: appended at tail on schedule and
+// cascade, drained from head on dispatch, so same-(when, seq) order is the
+// append order.
+type bucketList struct {
+	head, tail *eventNode
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// wheelLevel is one ring of buckets plus an occupancy bitmap used to find the
+// next non-empty bucket in a handful of word operations.
+type wheelLevel struct {
+	buckets [wheelSize]bucketList
+	occ     [wheelSize / 64]uint64
 }
 
 // Kernel is a discrete-event scheduler. The zero value is not usable; create
-// one with NewKernel.
+// one with NewKernel. A Kernel (including its node pool) is confined to one
+// goroutine; independent kernels on separate goroutines share nothing.
 type Kernel struct {
-	pq      eventHeap
 	now     Time
 	seq     uint64
 	stopped bool
 	// executed counts events dispatched, for introspection and test limits.
 	executed uint64
+
+	// base is the start of the level-0 window, always span0-aligned. The
+	// level-1 and level-2 spans containing it are base &^ (span1-1) and
+	// base &^ (span2-1).
+	base       Time
+	levels     [wheelLevels]wheelLevel
+	wheelCount int // events resident in the wheel levels
+	pending    int // wheelCount plus overflow heap residents
+
+	// overflow holds events beyond the wheel's current 2^24-cycle horizon,
+	// ordered by (when, seq); it refills the wheel when dispatch rolls past
+	// the horizon.
+	overflow []*eventNode
+
+	// free is the node pool: nodes released at dispatch, reused at schedule.
+	free *eventNode
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	k := &Kernel{}
-	heap.Init(&k.pq)
-	return k
+	return &Kernel{}
 }
 
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
 
 // Pending returns the number of scheduled, not-yet-executed events.
-func (k *Kernel) Pending() int { return len(k.pq) }
+func (k *Kernel) Pending() int { return k.pending }
 
 // Executed returns the number of events dispatched so far.
 func (k *Kernel) Executed() uint64 { return k.executed }
 
 // Schedule runs fn after delay cycles (possibly zero, meaning "later this
-// cycle", after already-queued events for the current time).
+// cycle", after already-queued events for the current time). This is the
+// closure compatibility path; hot code should use ScheduleEvent.
 func (k *Kernel) Schedule(delay Time, fn func()) {
 	k.At(k.now+delay, fn)
 }
@@ -105,20 +156,266 @@ func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: event scheduled at %d, before now %d", t, k.now))
 	}
+	n := k.newNode()
 	k.seq++
-	heap.Push(&k.pq, event{when: t, seq: k.seq, fn: fn})
+	n.when, n.seq, n.fn = t, k.seq, fn
+	k.enqueue(n)
+}
+
+// ScheduleEvent runs h.OnEvent(now, data) after delay cycles: the typed,
+// zero-allocation fast path. Ordering is identical to Schedule — one shared
+// sequence counter breaks same-cycle ties across both paths.
+func (k *Kernel) ScheduleEvent(delay Time, h Handler, data uint64) {
+	k.AtEvent(k.now+delay, h, data)
+}
+
+// AtEvent runs h.OnEvent(t, data) at absolute time t; it panics on a nil
+// handler or a past timestamp.
+func (k *Kernel) AtEvent(t Time, h Handler, data uint64) {
+	if h == nil {
+		panic("sim: AtEvent with nil handler")
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now %d", t, k.now))
+	}
+	n := k.newNode()
+	k.seq++
+	n.when, n.seq, n.h, n.data = t, k.seq, h, data
+	k.enqueue(n)
+}
+
+func (k *Kernel) newNode() *eventNode {
+	if n := k.free; n != nil {
+		k.free = n.next
+		n.next = nil
+		return n
+	}
+	return &eventNode{}
+}
+
+func (k *Kernel) releaseNode(n *eventNode) {
+	n.h, n.fn, n.data = nil, nil, 0
+	n.next = k.free
+	k.free = n
+}
+
+// enqueue files n into the wheel or the overflow heap.
+func (k *Kernel) enqueue(n *eventNode) {
+	if k.pending == 0 {
+		// Empty kernel: snap the window back to the clock so a run that
+		// coasted far ahead (RunUntil past the last event) does not strand
+		// near-future work in the overflow heap.
+		k.base = k.now &^ (span0 - 1)
+	}
+	k.pending++
+	k.place(n)
+}
+
+// place files n by range: the lowest wheel level whose current span contains
+// n.when, else the overflow heap. Spans are aligned, which is what makes
+// bucket order dispatch order: a timestamp enters the wheel only at its
+// span's refill/cascade boundary or later, so every append lands behind all
+// earlier-scheduled events for the same cycle.
+//
+// A timestamp below the window (possible when peek cascaded the window past
+// the clock and the next schedule lands in the gap) goes to the overflow
+// heap, which dispatch checks before the wheel; it cannot tie with a wheel
+// event, whose timestamps are all >= base.
+func (k *Kernel) place(n *eventNode) {
+	switch {
+	case n.when < k.base:
+		k.heapPush(n)
+	case n.when < k.base+span0:
+		k.pushBucket(0, int(n.when)&wheelMask, n)
+	case n.when < (k.base&^(span1-1))+span1:
+		k.pushBucket(1, int(n.when>>wheelBits)&wheelMask, n)
+	case n.when < (k.base&^(span2-1))+span2:
+		k.pushBucket(2, int(n.when>>(2*wheelBits))&wheelMask, n)
+	default:
+		k.heapPush(n)
+	}
+}
+
+func (k *Kernel) pushBucket(level, idx int, n *eventNode) {
+	k.wheelCount++
+	lv := &k.levels[level]
+	b := &lv.buckets[idx]
+	n.next = nil
+	if b.tail == nil {
+		b.head = n
+	} else {
+		b.tail.next = n
+	}
+	b.tail = n
+	lv.occ[idx>>6] |= 1 << (idx & 63)
+}
+
+// firstSet returns the index of the lowest set bit in the occupancy bitmap.
+func firstSet(occ *[wheelSize / 64]uint64) (int, bool) {
+	for w, bitsWord := range occ {
+		if bitsWord != 0 {
+			return w<<6 + bits.TrailingZeros64(bitsWord), true
+		}
+	}
+	return 0, false
+}
+
+// popNext removes and returns the earliest (when, seq) event, or nil.
+func (k *Kernel) popNext() *eventNode {
+	if k.pending == 0 {
+		return nil
+	}
+	for {
+		if len(k.overflow) > 0 && k.overflow[0].when < k.base {
+			k.pending--
+			return k.heapPop()
+		}
+		lv := &k.levels[0]
+		if idx, ok := firstSet(&lv.occ); ok {
+			b := &lv.buckets[idx]
+			n := b.head
+			b.head = n.next
+			if b.head == nil {
+				b.tail = nil
+				lv.occ[idx>>6] &^= 1 << (idx & 63)
+			}
+			k.wheelCount--
+			k.pending--
+			n.next = nil
+			return n
+		}
+		k.advance()
+	}
+}
+
+// peek returns the earliest pending timestamp without dispatching. It may
+// advance the wheel window (cascade/refill), which never reorders events.
+func (k *Kernel) peek() (Time, bool) {
+	if k.pending == 0 {
+		return 0, false
+	}
+	for {
+		if len(k.overflow) > 0 && k.overflow[0].when < k.base {
+			return k.overflow[0].when, true
+		}
+		if idx, ok := firstSet(&k.levels[0].occ); ok {
+			return k.base + Time(idx), true
+		}
+		k.advance()
+	}
+}
+
+// advance moves the level-0 window forward to the next occupied region:
+// cascading the first non-empty level-1 or level-2 bucket down, or — when
+// the wheel is fully drained — jumping to the overflow heap's minimum and
+// refilling the wheel's new 2^24-cycle horizon from it. Called only with
+// pending > 0 and level 0 empty.
+func (k *Kernel) advance() {
+	if k.wheelCount == 0 {
+		// Rollover: every wheel event has dispatched, so the next span is
+		// wherever the heap minimum lives. Draining the heap in (when, seq)
+		// order seeds each bucket FIFO sorted; later direct schedules into
+		// these spans carry larger sequence numbers and append behind.
+		k.base = k.overflow[0].when &^ (span0 - 1)
+		limit := (k.base &^ (span2 - 1)) + span2
+		for len(k.overflow) > 0 && k.overflow[0].when < limit {
+			k.place(k.heapPop())
+		}
+		return
+	}
+	if idx, ok := firstSet(&k.levels[1].occ); ok {
+		k.base = (k.base &^ (span1 - 1)) + Time(idx)<<wheelBits
+		k.cascade(1, idx)
+		return
+	}
+	idx, ok := firstSet(&k.levels[2].occ)
+	if !ok {
+		panic("sim: wheel accounting corrupted (resident events but all levels empty)")
+	}
+	k.base = (k.base &^ (span2 - 1)) + Time(idx)<<(2*wheelBits)
+	k.cascade(2, idx)
+}
+
+// cascade redistributes one upper-level bucket into the levels below it,
+// preserving list order (and therefore same-cycle FIFO order).
+func (k *Kernel) cascade(level, idx int) {
+	lv := &k.levels[level]
+	b := &lv.buckets[idx]
+	n := b.head
+	b.head, b.tail = nil, nil
+	lv.occ[idx>>6] &^= 1 << (idx & 63)
+	for n != nil {
+		next := n.next
+		k.wheelCount--
+		k.place(n)
+		n = next
+	}
+}
+
+// Overflow heap: a hand-rolled binary min-heap on (when, seq) over node
+// pointers, avoiding container/heap's interface boxing on the cold path too.
+
+func nodeLess(a, b *eventNode) bool {
+	return a.when < b.when || (a.when == b.when && a.seq < b.seq)
+}
+
+func (k *Kernel) heapPush(n *eventNode) {
+	h := append(k.overflow, n)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nodeLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	k.overflow = h
+}
+
+func (k *Kernel) heapPop() *eventNode {
+	h := k.overflow
+	n := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			break
+		}
+		if c+1 < len(h) && nodeLess(h[c+1], h[c]) {
+			c++
+		}
+		if !nodeLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	k.overflow = h
+	return n
 }
 
 // Step executes the single earliest event and returns true, or returns false
 // if no events remain.
 func (k *Kernel) Step() bool {
-	if len(k.pq) == 0 {
+	n := k.popNext()
+	if n == nil {
 		return false
 	}
-	e := heap.Pop(&k.pq).(event)
-	k.now = e.when
+	k.now = n.when
 	k.executed++
-	e.fn()
+	h, data, fn := n.h, n.data, n.fn
+	// Release before dispatch so the handler's own scheduling reuses the node.
+	k.releaseNode(n)
+	if h != nil {
+		h.OnEvent(k.now, data)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -133,7 +430,11 @@ func (k *Kernel) Run() {
 // exactly t. Events scheduled at t execute.
 func (k *Kernel) RunUntil(t Time) {
 	k.stopped = false
-	for !k.stopped && len(k.pq) > 0 && k.pq[0].when <= t {
+	for !k.stopped {
+		when, ok := k.peek()
+		if !ok || when > t {
+			break
+		}
 		k.Step()
 	}
 	if k.now < t {

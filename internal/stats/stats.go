@@ -90,6 +90,12 @@ type Histogram struct {
 	raw     []float64
 	rawCap  int
 	buckets map[int]uint64 // bucket index = floor(log2(v+1))
+
+	// sorted caches the sort of raw so repeated percentile queries (P50 and
+	// P99 per cell, every cell of a sweep) pay O(n log n) once per batch of
+	// observations instead of once per call. Invalidated by Observe.
+	sorted []float64
+	dirty  bool
 }
 
 // NewHistogram returns a histogram retaining up to rawCap exact values
@@ -106,6 +112,7 @@ func (h *Histogram) Observe(v float64) {
 	h.Sample.Observe(v)
 	if len(h.raw) < h.rawCap {
 		h.raw = append(h.raw, v)
+		h.dirty = true
 	}
 	h.buckets[bucketOf(v)]++
 }
@@ -125,16 +132,19 @@ func (h *Histogram) Percentile(p float64) float64 {
 		return 0
 	}
 	if uint64(len(h.raw)) == h.count {
-		sorted := append([]float64(nil), h.raw...)
-		sort.Float64s(sorted)
-		idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+		if h.dirty {
+			h.sorted = append(h.sorted[:0], h.raw...)
+			sort.Float64s(h.sorted)
+			h.dirty = false
+		}
+		idx := int(math.Ceil(p/100*float64(len(h.sorted)))) - 1
 		if idx < 0 {
 			idx = 0
 		}
-		if idx >= len(sorted) {
-			idx = len(sorted) - 1
+		if idx >= len(h.sorted) {
+			idx = len(h.sorted) - 1
 		}
-		return sorted[idx]
+		return h.sorted[idx]
 	}
 	// Bucket estimate.
 	keys := make([]int, 0, len(h.buckets))

@@ -62,6 +62,26 @@ func TestHistogramExactPercentiles(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileCacheInvalidation(t *testing.T) {
+	// Percentile caches the sorted view; interleaved Observe calls must
+	// invalidate it so later queries see the new observations.
+	h := NewHistogram(1000)
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Percentile(100); got != 10 {
+		t.Fatalf("P100 = %v, want 10", got)
+	}
+	h.Observe(1000)
+	if got := h.Percentile(100); got != 1000 {
+		t.Errorf("P100 after new max = %v, want 1000 (stale sorted cache?)", got)
+	}
+	h.Observe(0.5)
+	if got := h.Percentile(1); got != 0.5 {
+		t.Errorf("P1 after new min = %v, want 0.5 (stale sorted cache?)", got)
+	}
+}
+
 func TestHistogramBucketEstimate(t *testing.T) {
 	h := NewHistogram(10) // force overflow into bucket estimation
 	for i := 1; i <= 1000; i++ {

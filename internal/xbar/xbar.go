@@ -62,6 +62,9 @@ type Crossbar struct {
 	credits    []int   // per destination channel
 	creditWait [][]int // per destination: src clusters waiting, FIFO
 
+	// slots parks in-flight messages for the typed delivery event.
+	slots sim.Slots[*noc.Message]
+
 	stats noc.Stats
 	// BusyCycles accumulates channel occupancy for utilization reporting.
 	BusyCycles uint64
@@ -69,8 +72,57 @@ type Crossbar struct {
 
 var _ noc.Network = (*Crossbar)(nil)
 
+// The crossbar's kernel events run on the typed fast path: named views of
+// the Crossbar implement sim.Handler for each event kind, with the source
+// and destination cluster packed into the data word, so the hot
+// credit/token/transmit pipeline schedules without allocating.
+
+// pack2 packs a (src, dst) cluster pair into a handler data word.
+func pack2(src, dst int) uint64 { return uint64(src)<<16 | uint64(dst) }
+
+func unpack2(data uint64) (src, dst int) { return int(data >> 16 & 0xffff), int(data & 0xffff) }
+
+// creditEvent hands a freed receive-buffer credit to a waiting writer.
+type creditEvent Crossbar
+
+func (e *creditEvent) OnEvent(_ sim.Time, data uint64) {
+	src, dst := unpack2(data)
+	(*Crossbar)(e).haveCredit(src, dst)
+}
+
+// releaseEvent fires when a message's tail leaves the modulators: the token
+// re-injects and the next queued message restarts at the credit step.
+type releaseEvent Crossbar
+
+func (e *releaseEvent) OnEvent(_ sim.Time, data uint64) {
+	x := (*Crossbar)(e)
+	src, dst := unpack2(data)
+	x.arb.Release(dst, src)
+	x.advance(src, dst)
+}
+
+// deliverEvent fires when the light reaches the destination's detectors.
+type deliverEvent Crossbar
+
+func (e *deliverEvent) OnEvent(_ sim.Time, data uint64) {
+	x := (*Crossbar)(e)
+	m := x.slots.Take(data)
+	x.stats.Messages++
+	x.stats.Bytes += uint64(m.Size)
+	x.deliver[m.Dst](m)
+}
+
+// Granted implements arbiter.GrantHandler: the destination channel's token
+// was diverted for cluster, so the head message transmits.
+func (x *Crossbar) Granted(channel, cluster int) { x.transmit(cluster, channel) }
+
 // New builds a crossbar on kernel k.
 func New(k *sim.Kernel, cfg Config) *Crossbar {
+	if cfg.Clusters > 1<<16 {
+		// pack2 carries cluster ids in 16-bit event data fields.
+		panic(fmt.Sprintf("xbar: %d clusters exceeds the %d-cluster event encoding limit",
+			cfg.Clusters, 1<<16))
+	}
 	if cfg.Clusters <= 0 || cfg.BytesPerCycle <= 0 || cfg.InjectQueue <= 0 || cfg.RecvBuffer <= 0 {
 		panic(fmt.Sprintf("xbar: invalid config %+v", cfg))
 	}
@@ -139,7 +191,7 @@ func (x *Crossbar) Consume(cluster int, _ *noc.Message) {
 		src := wait[0]
 		x.creditWait[cluster] = wait[1:]
 		// Hand the credit straight to the waiting writer.
-		x.k.Schedule(0, func() { x.haveCredit(src, cluster) })
+		x.k.ScheduleEvent(0, (*creditEvent)(x), pack2(src, cluster))
 		return
 	}
 	x.credits[cluster]++
@@ -167,7 +219,7 @@ func (x *Crossbar) advance(src, dst int) {
 
 // haveCredit is step 2: arbitrate for the destination's channel token.
 func (x *Crossbar) haveCredit(src, dst int) {
-	x.arb.Request(dst, src, func() { x.transmit(src, dst) })
+	x.arb.RequestEvent(dst, src, x)
 }
 
 // transmit is step 3: modulate the message onto the channel, release the
@@ -182,15 +234,8 @@ func (x *Crossbar) transmit(src, dst int) {
 	x.BusyCycles += uint64(tx)
 
 	// Token travels in parallel with the tail of the message.
-	x.k.Schedule(tx, func() {
-		x.arb.Release(dst, src)
-		x.advance(src, dst) // next queued message restarts at credit step
-	})
-	x.k.Schedule(tx+prop, func() {
-		x.stats.Messages++
-		x.stats.Bytes += uint64(m.Size)
-		x.deliver[dst](m)
-	})
+	x.k.ScheduleEvent(tx, (*releaseEvent)(x), pack2(src, dst))
+	x.k.ScheduleEvent(tx+prop, (*deliverEvent)(x), x.slots.Put(m))
 }
 
 // propagation returns the serpentine transit time from src's modulators to
