@@ -24,6 +24,14 @@ import (
 	"corona/internal/xbar"
 )
 
+// xbarPoint is one crossbar ablation cell: the flagship machine with a
+// single fabric parameter overridden through the registry's param map.
+func xbarPoint(param string, value int) config.System {
+	cfg := config.Corona()
+	cfg.FabricParams = map[string]int{param: value}
+	return cfg
+}
+
 const ablationRequests = 10000
 
 func ablationSpec() traffic.Spec {
@@ -62,12 +70,9 @@ func BenchmarkAblationArbitration(b *testing.B) {
 	var names []string
 	var cells []core.Cell
 	for _, c := range cases {
-		xb := xbar.DefaultConfig()
-		xb.TokenSpeed = c.speed
-		cfg := config.Corona()
-		cfg.XBarOverride = &xb
 		names = append(names, c.name)
-		cells = append(cells, core.Cell{Config: cfg, Spec: ablationSpec(), Requests: ablationRequests, Seed: 5})
+		cells = append(cells, core.Cell{Config: xbarPoint(xbar.ParamTokenSpeed, c.speed),
+			Spec: ablationSpec(), Requests: ablationRequests, Seed: 5})
 	}
 	reportAblation(b, names, cells, "sim-cycles", cycles)
 }
@@ -78,12 +83,9 @@ func BenchmarkAblationXBarWidth(b *testing.B) {
 	var names []string
 	var cells []core.Cell
 	for _, width := range []int{16, 32, 64, 128} {
-		xb := xbar.DefaultConfig()
-		xb.BytesPerCycle = width
-		cfg := config.Corona()
-		cfg.XBarOverride = &xb
 		names = append(names, fmt.Sprintf("bytes-per-cycle-%d", width))
-		cells = append(cells, core.Cell{Config: cfg, Spec: ablationSpec(), Requests: ablationRequests, Seed: 5})
+		cells = append(cells, core.Cell{Config: xbarPoint(xbar.ParamBytesPerCycle, width),
+			Spec: ablationSpec(), Requests: ablationRequests, Seed: 5})
 	}
 	reportAblation(b, names, cells, "sim-cycles", cycles)
 }
@@ -94,11 +96,9 @@ func BenchmarkAblationMeshBisection(b *testing.B) {
 	var names []string
 	var cells []core.Cell
 	for _, width := range []int{4, 8, 16, 32} {
-		mc := mesh.HMeshConfig()
-		mc.Name = fmt.Sprintf("mesh-%d", width)
-		mc.BytesPerCycle = width
 		cfg := config.Default(config.HMesh, config.OCM)
-		cfg.MeshOverride = &mc
+		cfg.Label = fmt.Sprintf("Mesh-%dB/OCM", width)
+		cfg.FabricParams = map[string]int{mesh.ParamBytesPerCycle: width}
 		names = append(names, fmt.Sprintf("link-bytes-per-cycle-%d", width))
 		cells = append(cells, core.Cell{Config: cfg, Spec: ablationSpec(), Requests: ablationRequests, Seed: 5})
 	}

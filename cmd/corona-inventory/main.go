@@ -7,9 +7,13 @@
 // It also prints the Section 3.1/3.4 package budget (die areas, power bands,
 // TSV counts) and the Section 2 fabrication-yield analysis.
 //
+// -table fabrics prints the registered interconnect catalog — every fabric
+// the registry knows, with its analytic bisection bandwidth and best-case
+// transit latency at the 64-cluster scale (docs/ARCHITECTURE.md).
+//
 // Usage:
 //
-//	corona-inventory [-table 1|2|3|4|budget|stack|yield|all] [-launch dBm]
+//	corona-inventory [-table 1|2|3|4|fabrics|budget|stack|yield|all] [-launch dBm]
 package main
 
 import (
@@ -22,7 +26,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to print: 1, 2, 3, 4, budget, stack, yield, or all")
+	table := flag.String("table", "all", "which table to print: 1, 2, 3, 4, fabrics, budget, stack, yield, or all")
 	launch := flag.Float64("launch", 10, "per-wavelength laser launch power in dBm for the budgets")
 	flag.Parse()
 
@@ -40,6 +44,10 @@ func main() {
 	}
 	if want("4") {
 		fmt.Printf("Table 4: Optical vs Electrical Memory Interconnects\n%s\n", config.Table4())
+	}
+	if want("fabrics") {
+		fmt.Printf("Registered interconnect fabrics (64 clusters, published defaults)\n%s\n",
+			config.FabricCatalog())
 	}
 	if want("stack") {
 		fmt.Printf("3D package budget (Sections 3.1, 3.4)\n%s\n", stack.Estimate(64).Table())

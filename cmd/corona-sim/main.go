@@ -1,17 +1,22 @@
 // Command corona-sim simulates a single (configuration, workload) pair and
 // prints the detailed result: runtime, achieved bandwidth, latency
 // distribution, and power. It can also replay a trace file produced by
-// corona-tracegen, or compare one workload across all five configurations.
+// corona-tracegen, or compare one workload across several configurations.
 //
 // Usage:
 //
 //	corona-sim [-config XBar/OCM] [-workload Uniform] [-requests N] [-seed S]
+//	corona-sim [-config scenario.json] [-workload Uniform]
 //	corona-sim [-config XBar/OCM] -trace file.trc
-//	corona-sim -compare [-workload Uniform] [-requests N] [-seed S]
+//	corona-sim -compare [-config scenario.json] [-workload Uniform]
 //
-// -compare runs the workload on every configuration concurrently (one sweep
-// pool worker per configuration, identical traffic seed for each) and prints
-// the workload's row of Figures 8-10.
+// -config accepts either a preset label (the paper's five machines plus the
+// SWMR variant, e.g. "SWMR/OCM") or a path to a JSON scenario file (see
+// examples/custom-fabric/scenario.json); a scenario's first machine is
+// simulated unless -compare runs them all. -compare runs the workload on
+// every selected configuration concurrently (one sweep pool worker per
+// configuration, identical traffic seed for each) and prints the workload's
+// row of Figures 8-10.
 package main
 
 import (
@@ -19,69 +24,86 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"corona"
 	"corona/internal/config"
 	"corona/internal/core"
 	"corona/internal/trace"
-	"corona/internal/traffic"
 )
 
-func findConfig(name string) (config.System, bool) {
-	for _, c := range config.Combos() {
-		if c.Name() == name {
-			return c, true
+// resolveConfigs turns the -config value — preset label or scenario path —
+// into the list of machines to simulate.
+func resolveConfigs(arg string) ([]config.System, error) {
+	if strings.HasSuffix(arg, ".json") {
+		sc, err := core.LoadScenario(arg)
+		if err != nil {
+			return nil, err
 		}
+		return sc.Configs, nil
 	}
-	return config.System{}, false
-}
-
-func findWorkload(name string) (traffic.Spec, bool) {
-	for _, w := range core.AllWorkloads() {
-		if w.Name == name {
-			return w, true
-		}
+	cfg, err := config.ParseName(arg)
+	if err != nil {
+		return nil, err
 	}
-	return traffic.Spec{}, false
+	return []config.System{cfg}, nil
 }
 
 func main() {
-	cfgName := flag.String("config", "XBar/OCM", "system configuration (XBar/OCM, HMesh/OCM, LMesh/OCM, HMesh/ECM, LMesh/ECM)")
+	cfgName := flag.String("config", "XBar/OCM", "preset (XBar/OCM ... LMesh/ECM, SWMR/OCM) or a JSON scenario file")
 	wlName := flag.String("workload", "Uniform", "workload name (Table 3: Uniform, Hot Spot, Tornado, Transpose, Barnes, ..., Water-Sp)")
 	requests := flag.Int("requests", 50000, "L2 misses to simulate")
 	seed := flag.Uint64("seed", 42, "workload generator seed")
 	traceFile := flag.String("trace", "", "replay this trace file instead of a synthetic workload")
 	threads := flag.Int("threads-per-cluster", 16, "thread-to-cluster mapping for trace replay")
-	compare := flag.Bool("compare", false, "run the workload on all five configurations in parallel and print the comparison")
+	compare := flag.Bool("compare", false, "run the workload on every selected configuration in parallel and print the comparison")
 	flag.Parse()
 
 	if *compare {
 		if *traceFile != "" {
 			log.Fatal("-compare runs a synthetic workload on every configuration; it cannot be combined with -trace")
 		}
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "config" {
-				fmt.Fprintln(os.Stderr, "note: -config is ignored with -compare (all five configurations run)")
-			}
-		})
-		spec, ok := findWorkload(*wlName)
+		spec, ok := core.FindWorkload(*wlName)
 		if !ok {
 			log.Fatalf("unknown workload %q", *wlName)
 		}
-		results := corona.CompareConfigs(spec, *requests, *seed)
+		configs := corona.Configurations()
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name != "config" {
+				return
+			}
+			var err error
+			if configs, err = resolveConfigs(*cfgName); err != nil {
+				log.Fatal(err)
+			}
+			if len(configs) == 1 {
+				fmt.Fprintln(os.Stderr, "note: single -config with -compare; comparing it against the five presets")
+				for _, p := range corona.Configurations() {
+					if p.Name() != configs[0].Name() {
+						configs = append(configs, p)
+					}
+				}
+			}
+		})
+		results := corona.CompareConfigs(spec, *requests, *seed, configs...)
 		baseline := results[0]
 		fmt.Printf("workload %q, %d requests per configuration, seed %d\n\n", spec.Name, *requests, *seed)
-		fmt.Printf("%-10s  %10s  %9s  %12s  %8s\n", "config", "cycles", "TB/s", "latency(ns)", "speedup")
+		fmt.Printf("%-12s  %10s  %9s  %12s  %8s\n", "config", "cycles", "TB/s", "latency(ns)", "speedup")
 		for _, r := range results {
-			fmt.Printf("%-10s  %10d  %9.2f  %12.1f  %8.2f\n",
+			fmt.Printf("%-12s  %10d  %9.2f  %12.1f  %8.2f\n",
 				r.Config, r.Cycles, r.AchievedTBs, r.MeanLatencyNs, r.Speedup(baseline))
 		}
 		return
 	}
 
-	cfg, ok := findConfig(*cfgName)
-	if !ok {
-		log.Fatalf("unknown configuration %q", *cfgName)
+	configs, err := resolveConfigs(*cfgName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := configs[0]
+	if len(configs) > 1 {
+		fmt.Fprintf(os.Stderr, "note: scenario defines %d machines; simulating %q (use -compare for all)\n",
+			len(configs), cfg.Name())
 	}
 
 	var res core.Result
@@ -102,7 +124,7 @@ func main() {
 		sys := core.NewSystem(cfg)
 		res = core.NewTraceRunner(sys, recs, *threads).Run()
 	} else {
-		spec, ok := findWorkload(*wlName)
+		spec, ok := core.FindWorkload(*wlName)
 		if !ok {
 			log.Fatalf("unknown workload %q", *wlName)
 		}

@@ -9,13 +9,18 @@
 // The package is a façade over the simulation library in internal/:
 //
 //   - BuildSystem / RunWorkload simulate one (configuration, workload) pair,
-//     with detailed finite-buffer models of the crossbar, meshes, token
+//     with detailed finite-buffer models of the crossbars, meshes, token
 //     arbitration, hubs, MSHRs, and memory controllers.
 //   - NewSweep runs the paper's full 5-configuration x 15-workload matrix
-//     and renders Figures 8-11 as tables. Sweep.Run fans the 75 independent
+//     and renders Figures 8-11 as tables. Sweep.Run fans the independent
 //     cells out over a bounded worker pool (Workers option, GOMAXPROCS by
 //     default) with derived per-workload seeds, and can persist finished cells
 //     in an on-disk cache (CacheDir option).
+//   - NewMatrixSweep generalizes the same engine to any configurations x
+//     workloads matrix; CustomConfig describes a machine over any registered
+//     fabric, LoadScenario reads a whole matrix from JSON, and RegisterFabric
+//     plugs an entirely new interconnect model into all of the above — see
+//     docs/ARCHITECTURE.md for the registry design and a walkthrough.
 //   - Table1/Table2/Table3/Table4 reproduce the paper's analytic tables.
 //   - ReplayTrace replays an annotated L2-miss trace (package-format traces
 //     are produced by cmd/corona-tracegen or the cluster trace engine).
@@ -29,6 +34,7 @@ package corona
 import (
 	"corona/internal/config"
 	"corona/internal/core"
+	"corona/internal/noc"
 	"corona/internal/photonic"
 	"corona/internal/splash"
 	"corona/internal/stats"
@@ -36,8 +42,54 @@ import (
 	"corona/internal/traffic"
 )
 
-// SystemConfig selects one of the five simulated machines.
+// SystemConfig declaratively describes one simulated machine: a registered
+// fabric name plus parameters, a memory interconnect, and cluster/MSHR/hub
+// sizing. The paper's five machines are presets (Configurations); arbitrary
+// machines come from CustomConfig or a JSON scenario.
 type SystemConfig = config.System
+
+// MemoryKind selects the off-stack memory interconnect of a SystemConfig.
+type MemoryKind = config.MemoryKind
+
+// Memory interconnect options: optically connected memory (10.24 TB/s
+// aggregate) and the electrical baseline (0.96 TB/s).
+const (
+	OCM = config.OCM
+	ECM = config.ECM
+)
+
+// Fabric describes a pluggable interconnect: a builder plus analytic
+// metadata (bisection bandwidth, power model, channel utilization).
+type Fabric = noc.Fabric
+
+// FabricParams is the sizing input a fabric builder receives.
+type FabricParams = noc.FabricParams
+
+// Network is the interface every interconnect model implements.
+type Network = noc.Network
+
+// RegisterFabric adds a custom interconnect to the fabric registry, making
+// it buildable by name from CustomConfig, JSON scenarios, and sweeps. Call
+// it from an init function or before building systems; it panics on
+// duplicate or incomplete registrations. docs/ARCHITECTURE.md walks through
+// a complete example.
+func RegisterFabric(f Fabric) { noc.Register(f) }
+
+// Fabrics returns the registered fabric names, sorted ("hmesh", "lmesh",
+// "swmr", "xbar", plus anything registered at runtime).
+func Fabrics() []string { return noc.Names() }
+
+// CustomConfig describes a machine over any registered fabric with the
+// paper's structural defaults (64 clusters, 64 MSHRs, 4-cycle hub); adjust
+// the returned struct for anything else. An empty label derives
+// "<Fabric>/<Mem>". Params may be nil for the fabric's published defaults.
+func CustomConfig(label, fabric string, mem MemoryKind, params map[string]int) SystemConfig {
+	return config.Custom(label, fabric, mem, params)
+}
+
+// ParseConfigName resolves a preset label such as "XBar/OCM" or "SWMR/ECM",
+// rejecting unknown names with the valid vocabulary in the error.
+func ParseConfigName(name string) (SystemConfig, error) { return config.ParseName(name) }
 
 // Workload describes an offered traffic pattern (see internal/traffic).
 type Workload = traffic.Spec
@@ -89,6 +141,23 @@ func ReplayTrace(cfg SystemConfig, recs []TraceRecord, threadsPerCluster int) Re
 // Figure8..Figure11 for the tables.
 func NewSweep(requests int, seed uint64) *Sweep { return core.NewSweep(requests, seed) }
 
+// NewMatrixSweep prepares an arbitrary configs x workloads matrix on the
+// same engine, with the same any-worker-count determinism guarantee and
+// cache. Order configs baseline-first: the speedup-1 column is "LMesh/ECM"
+// when present, otherwise the first config.
+func NewMatrixSweep(configs []SystemConfig, workloads []Workload, requests int, seed uint64) *Sweep {
+	return core.NewMatrixSweep(configs, workloads, requests, seed)
+}
+
+// Scenario is a fully resolved experiment description loaded from JSON.
+type Scenario = core.Scenario
+
+// LoadScenario reads a JSON scenario file — machines (presets or declarative
+// fabric descriptions), workloads, requests, seed — validating every fabric
+// name, parameter key, and workload against the registry and Table 3.
+// Scenario.Sweep() puts it on the engine.
+func LoadScenario(path string) (*Scenario, error) { return core.LoadScenario(path) }
+
 // SweepOption configures a Sweep.Run invocation.
 type SweepOption = core.Option
 
@@ -108,15 +177,19 @@ func CacheDir(dir string) SweepOption { return core.CacheDir(dir) }
 // OnProgress registers a serialized per-cell completion callback.
 func OnProgress(fn func(SweepProgress)) SweepOption { return core.OnProgress(fn) }
 
-// CompareConfigs runs spec on all five system configurations concurrently
-// under identical traffic (the seed is used as given, where a sweep derives
-// a per-workload seed from its base seed — either way, every machine in a
-// row faces the same offered stream) and returns results in
-// Configurations() order: one workload's row of Figures 8-10.
-func CompareConfigs(spec Workload, requests int, seed uint64) []Result {
-	combos := config.Combos()
-	cells := make([]core.Cell, len(combos))
-	for i, c := range combos {
+// CompareConfigs runs spec on several machines concurrently under identical
+// traffic (the seed is used as given, where a sweep derives a per-workload
+// seed from its base seed — either way, every machine in a row faces the
+// same offered stream) and returns results in argument order. With no
+// explicit configs it compares the five paper machines in Configurations()
+// order: one workload's row of Figures 8-10. Pass any mix of presets and
+// custom configs to widen the row.
+func CompareConfigs(spec Workload, requests int, seed uint64, configs ...SystemConfig) []Result {
+	if len(configs) == 0 {
+		configs = config.Combos()
+	}
+	cells := make([]core.Cell, len(configs))
+	for i, c := range configs {
 		cells[i] = core.Cell{Config: c, Spec: spec, Requests: requests, Seed: seed}
 	}
 	return core.RunCells(cells, 0)

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"corona/internal/cluster"
+	"corona/internal/noc"
+	"corona/internal/sim"
 	"corona/internal/trace"
 )
 
@@ -109,6 +111,116 @@ func TestPublicSweepParallelDeterminism(t *testing.T) {
 	if render(seq) != render(par) {
 		t.Fatalf("parallel+cached tables differ from sequential:\n%s\n--- want ---\n%s",
 			render(par), render(seq))
+	}
+}
+
+func TestPublicFabricsAndCustomConfig(t *testing.T) {
+	names := Fabrics()
+	for _, want := range []string{"xbar", "hmesh", "lmesh", "swmr"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Fabrics() = %v, missing %q", names, want)
+		}
+	}
+	cfg := CustomConfig("", "swmr", OCM, nil)
+	if cfg.Name() != "SWMR/OCM" || cfg.Clusters != 64 {
+		t.Fatalf("CustomConfig = %+v", cfg)
+	}
+	res := RunWorkload(cfg, SyntheticWorkloads()[0], 800, 3)
+	if res.Config != "SWMR/OCM" || res.Cycles == 0 || res.NetworkPowerW != 32 {
+		t.Fatalf("SWMR run = %+v", res)
+	}
+	if _, err := ParseConfigName("SWMR/OCM"); err != nil {
+		t.Errorf("ParseConfigName(SWMR/OCM): %v", err)
+	}
+	if _, err := ParseConfigName("Warp/OCM"); err == nil {
+		t.Error("ParseConfigName accepted an unknown preset")
+	}
+}
+
+// idealNet is a minimal user-defined fabric: single-cycle delivery, no
+// contention, no back pressure — the "infinite interconnect" upper bound.
+type idealNet struct {
+	k       *sim.Kernel
+	n       int
+	deliver []noc.DeliverFunc
+	slots   sim.Slots[*noc.Message]
+	stats   noc.Stats
+}
+
+type idealDeliver idealNet
+
+func (e *idealDeliver) OnEvent(_ sim.Time, data uint64) {
+	x := (*idealNet)(e)
+	m := x.slots.Take(data)
+	x.stats.Messages++
+	x.stats.Bytes += uint64(m.Size)
+	x.deliver[m.Dst](m)
+}
+
+func (x *idealNet) Name() string                               { return "ideal" }
+func (x *idealNet) Clusters() int                              { return x.n }
+func (x *idealNet) Stats() noc.Stats                           { return x.stats }
+func (x *idealNet) SetDeliver(cluster int, fn noc.DeliverFunc) { x.deliver[cluster] = fn }
+func (x *idealNet) Consume(int, *noc.Message)                  {}
+func (x *idealNet) Send(m *noc.Message) bool {
+	x.k.ScheduleEvent(1, (*idealDeliver)(x), x.slots.Put(m))
+	return true
+}
+
+// TestRegisterFabricEndToEnd registers a fabric through the public façade
+// and drives it through RunWorkload and a matrix sweep — the complete
+// "add a topology without touching the simulator" path.
+func TestRegisterFabricEndToEnd(t *testing.T) {
+	// The registry is process-global, so guard against double registration
+	// when the test binary reruns in one process (-count=2, bench mixes).
+	if _, registered := noc.Lookup("ideal"); !registered {
+		RegisterFabric(Fabric{
+			Name:        "ideal",
+			Display:     "Ideal",
+			Description: "zero-contention single-cycle interconnect (upper bound)",
+			Build: func(k *sim.Kernel, p FabricParams) (Network, error) {
+				return &idealNet{k: k, n: p.Clusters, deliver: make([]noc.DeliverFunc, p.Clusters)}, nil
+			},
+		})
+	}
+	ideal := CustomConfig("", "ideal", OCM, nil)
+	spec := SyntheticWorkloads()[0]
+	res := RunWorkload(ideal, spec, 1000, 5)
+	if res.Config != "Ideal/OCM" || res.Requests != 1000 {
+		t.Fatalf("ideal run = %+v", res)
+	}
+	real := RunWorkload(Corona(), spec, 1000, 5)
+	if res.Cycles > real.Cycles {
+		t.Errorf("ideal interconnect (%d cycles) slower than the crossbar (%d)", res.Cycles, real.Cycles)
+	}
+	// And through an arbitrary matrix with the determinism guarantee.
+	mk := func() *Sweep {
+		return NewMatrixSweep([]SystemConfig{Corona(), ideal}, AllWorkloads()[:2], 300, 9)
+	}
+	seq := mk()
+	seq.Run(Workers(1))
+	par := mk()
+	par.Run(Workers(4))
+	if seq.Figure8().String() != par.Figure8().String() {
+		t.Fatal("custom-fabric matrix not deterministic across worker counts")
+	}
+	if !strings.Contains(seq.Figure8().String(), "Ideal/OCM") {
+		t.Fatalf("Figure 8 missing the custom column:\n%s", seq.Figure8())
+	}
+}
+
+func TestPublicCompareCustomConfigs(t *testing.T) {
+	spec := SyntheticWorkloads()[0]
+	res := CompareConfigs(spec, 600, 3, Corona(), CustomConfig("", "swmr", OCM, nil))
+	if len(res) != 2 || res[0].Config != "XBar/OCM" || res[1].Config != "SWMR/OCM" {
+		t.Fatalf("explicit-config compare = %+v", res)
 	}
 }
 

@@ -1,20 +1,34 @@
-// Package config defines the five simulated system configurations of
-// Section 4 (XBar/OCM, HMesh/OCM, LMesh/OCM, HMesh/ECM, LMesh/ECM) and
-// reproduces the paper's configuration tables (Tables 1, 3, and 4).
+// Package config describes simulated system configurations declaratively —
+// a registered interconnect fabric name plus sizing parameters, a memory
+// interconnect, and the cluster/MSHR/hub structure — and reproduces the
+// paper's configuration tables (Tables 1, 3, and 4). The five machines of
+// Section 4 (XBar/OCM, HMesh/OCM, LMesh/OCM, HMesh/ECM, LMesh/ECM) are
+// presets over that scheme; arbitrary machines are built with Custom or
+// loaded from JSON (core.LoadScenario). See docs/ARCHITECTURE.md.
 package config
 
 import (
 	"fmt"
+	"strings"
 
 	"corona/internal/memory"
-	"corona/internal/mesh"
+	"corona/internal/noc"
 	"corona/internal/splash"
 	"corona/internal/stats"
 	"corona/internal/traffic"
-	"corona/internal/xbar"
+
+	// The shipped fabric catalog registers itself with the noc registry;
+	// these packages are linked here (and only here) for that side effect,
+	// so every consumer of a configuration can resolve its fabric by name.
+	_ "corona/internal/mesh"
+	_ "corona/internal/swmr"
+	_ "corona/internal/xbar"
 )
 
-// NetworkKind selects the on-stack interconnect.
+// NetworkKind selects the on-stack interconnect among the paper's presets.
+// It survives the fabric registry as the preset vocabulary: parsing and
+// printing for CLIs, and a compact way to name the five machines. Arbitrary
+// fabrics are addressed by registry name in System.Fabric instead.
 type NetworkKind uint8
 
 // On-stack interconnect options (Section 4).
@@ -23,6 +37,20 @@ const (
 	HMesh
 	LMesh
 )
+
+// FabricName returns the registry name of the preset's fabric.
+func (n NetworkKind) FabricName() string {
+	switch n {
+	case XBar:
+		return "xbar"
+	case HMesh:
+		return "hmesh"
+	case LMesh:
+		return "lmesh"
+	default:
+		return fmt.Sprintf("net(%d)", uint8(n))
+	}
+}
 
 // String names the network.
 func (n NetworkKind) String() string {
@@ -36,6 +64,18 @@ func (n NetworkKind) String() string {
 	default:
 		return fmt.Sprintf("net(%d)", uint8(n))
 	}
+}
+
+// ParseNetworkKind is the inverse of String. It rejects unknown names with
+// an error listing the valid ones, so a typo in a flag or JSON config fails
+// loudly instead of silently selecting a default machine.
+func ParseNetworkKind(s string) (NetworkKind, error) {
+	for _, n := range []NetworkKind{XBar, HMesh, LMesh} {
+		if s == n.String() {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown network %q (valid: XBar, HMesh, LMesh)", s)
 }
 
 // MemoryKind selects the off-stack memory interconnect.
@@ -59,10 +99,33 @@ func (m MemoryKind) String() string {
 	}
 }
 
-// System is one simulated configuration.
+// ParseMemoryKind is the inverse of String, rejecting unknown names.
+func ParseMemoryKind(s string) (MemoryKind, error) {
+	for _, m := range []MemoryKind{OCM, ECM} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown memory interconnect %q (valid: OCM, ECM)", s)
+}
+
+// System is one simulated configuration, described declaratively: the
+// interconnect is a fabric registry name plus a parameter map, never a
+// hard-wired type. Everything that shapes a result is in this struct (plus
+// the workload), which is why the sweep cache fingerprints its full JSON.
 type System struct {
-	Net NetworkKind
+	// Fabric is the registered interconnect name ("xbar", "hmesh", "lmesh",
+	// "swmr", or any fabric registered through corona.RegisterFabric).
+	Fabric string
+	// FabricParams are fabric-specific sizing overrides, keyed by the names
+	// the fabric's builder documents; nil selects its published defaults.
+	FabricParams map[string]int
+	// Mem selects the off-stack memory interconnect.
 	Mem MemoryKind
+	// Label, when non-empty, overrides Name()'s derived display label —
+	// useful when two configurations share a fabric and differ in params.
+	Label string
+
 	// Clusters is the cluster count (64).
 	Clusters int
 	// MSHRs bounds outstanding misses per cluster hub.
@@ -71,19 +134,58 @@ type System struct {
 	// cluster-local transactions in lieu of the network.
 	HubLatency int
 
-	// Optional overrides for ablation studies; nil selects the published
-	// parameters.
-	XBarOverride *xbar.Config
-	MeshOverride *mesh.Config
-	MemOverride  *memory.Config
+	// MemOverride replaces the Mem preset's controller parameters; nil
+	// selects the published ones.
+	MemOverride *memory.Config
 }
 
-// Name returns the paper's configuration label, e.g. "XBar/OCM".
-func (s System) Name() string { return s.Net.String() + "/" + s.Mem.String() }
+// Name returns the configuration's display label: Label when set, otherwise
+// the fabric's display name and the memory kind, e.g. "XBar/OCM".
+func (s System) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return noc.DisplayName(s.Fabric) + "/" + s.Mem.String()
+}
 
-// Default fills in the common structural parameters.
+// Params assembles the noc.FabricParams the fabric builder receives.
+func (s System) Params() noc.FabricParams {
+	return noc.FabricParams{Clusters: s.Clusters, Params: s.FabricParams}
+}
+
+// Validate checks that the fabric is registered and accepts the parameters,
+// without building anything — the cheap pre-flight for CLIs and config
+// loaders.
+func (s System) Validate() error {
+	fab, ok := noc.Lookup(s.Fabric)
+	if !ok {
+		return fmt.Errorf("config: %s: unknown fabric %q (registered: %v)", s.Name(), s.Fabric, noc.Names())
+	}
+	if s.Clusters <= 0 || s.MSHRs <= 0 || s.HubLatency <= 0 {
+		return fmt.Errorf("config: %s: non-positive structural parameter (clusters=%d mshrs=%d hub_latency=%d)",
+			s.Name(), s.Clusters, s.MSHRs, s.HubLatency)
+	}
+	if fab.Check != nil {
+		if err := fab.Check(s.Params()); err != nil {
+			return fmt.Errorf("config: %s: %w", s.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Custom returns a declarative System for any registered fabric, with the
+// paper's structural defaults (64 clusters, 64 MSHRs, 4-cycle hub). The
+// label may be empty to derive one from the fabric and memory names.
+func Custom(label, fabric string, mem MemoryKind, params map[string]int) System {
+	return System{
+		Fabric: fabric, FabricParams: params, Mem: mem, Label: label,
+		Clusters: 64, MSHRs: 64, HubLatency: 4,
+	}
+}
+
+// Default fills in the common structural parameters for a preset machine.
 func Default(net NetworkKind, mem MemoryKind) System {
-	return System{Net: net, Mem: mem, Clusters: 64, MSHRs: 64, HubLatency: 4}
+	return Custom("", net.FabricName(), mem, nil)
 }
 
 // Corona returns the flagship XBar/OCM configuration.
@@ -101,30 +203,26 @@ func Combos() []System {
 	}
 }
 
-// MeshConfig returns the mesh parameters for a mesh-based System; it panics
-// for the crossbar.
-func (s System) MeshConfig() mesh.Config {
-	if s.Net != HMesh && s.Net != LMesh {
-		panic("config: " + s.Name() + " has no mesh")
+// ParseName resolves a preset label of the form "<Network>/<Memory>", e.g.
+// "XBar/OCM" — the vocabulary of the paper's five machines plus the SWMR
+// variant ("SWMR/OCM" etc.), which shares the preset structure.
+func ParseName(name string) (System, error) {
+	netName, memName, ok := strings.Cut(name, "/")
+	if !ok {
+		return System{}, fmt.Errorf("config: preset %q is not of the form Network/Memory (e.g. XBar/OCM)", name)
 	}
-	if s.MeshOverride != nil {
-		return *s.MeshOverride
+	mem, err := ParseMemoryKind(memName)
+	if err != nil {
+		return System{}, fmt.Errorf("preset %q: %w", name, err)
 	}
-	if s.Net == HMesh {
-		return mesh.HMeshConfig()
+	if netName == "SWMR" {
+		return Custom("", "swmr", mem, nil), nil
 	}
-	return mesh.LMeshConfig()
-}
-
-// XBarConfig returns the crossbar parameters; it panics for meshes.
-func (s System) XBarConfig() xbar.Config {
-	if s.Net != XBar {
-		panic("config: " + s.Name() + " has no crossbar")
+	net, err := ParseNetworkKind(netName)
+	if err != nil {
+		return System{}, fmt.Errorf("preset %q: %w (or SWMR)", name, err)
 	}
-	if s.XBarOverride != nil {
-		return *s.XBarOverride
-	}
-	return xbar.DefaultConfig()
+	return Default(net, mem), nil
 }
 
 // MemConfig returns the per-controller memory configuration.
@@ -136,6 +234,33 @@ func (s System) MemConfig() memory.Config {
 		return memory.OCMConfig()
 	}
 	return memory.ECMConfig()
+}
+
+// FabricCatalog renders the registered fabrics with their analytic
+// metadata — bisection bandwidth and best-case transit at the paper's
+// 64-cluster scale — the at-a-glance design-space table the registry
+// opens up beyond the five fixed machines.
+func FabricCatalog() *stats.Table {
+	t := stats.NewTable("Fabric", "Label", "Bisection (TB/s)", "Min transit (cycles)", "Description")
+	for _, name := range noc.Names() {
+		f, ok := noc.Lookup(name)
+		if !ok {
+			continue
+		}
+		p := noc.FabricParams{Clusters: 64}
+		bisection := "-"
+		if f.BisectionBytesPerSec != nil {
+			if bw := f.BisectionBytesPerSec(p); bw > 0 {
+				bisection = fmt.Sprintf("%.2f", bw/1e12)
+			}
+		}
+		transit := "-"
+		if f.MinTransitCycles > 0 {
+			transit = fmt.Sprintf("%d", f.MinTransitCycles)
+		}
+		t.AddRow(name, noc.DisplayName(name), bisection, transit, f.Description)
+	}
+	return t
 }
 
 // Table1 reproduces the paper's resource configuration table.

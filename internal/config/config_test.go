@@ -36,14 +36,14 @@ func TestCoronaIsXBarOCM(t *testing.T) {
 }
 
 func TestSubConfigAccessors(t *testing.T) {
-	if Default(HMesh, ECM).MeshConfig().Name != "hmesh" {
-		t.Error("HMesh config wrong")
+	if Default(HMesh, ECM).Fabric != "hmesh" {
+		t.Error("HMesh fabric name wrong")
 	}
-	if Default(LMesh, ECM).MeshConfig().Name != "lmesh" {
-		t.Error("LMesh config wrong")
+	if Default(LMesh, ECM).Fabric != "lmesh" {
+		t.Error("LMesh fabric name wrong")
 	}
-	if Corona().XBarConfig().Clusters != 64 {
-		t.Error("XBar config wrong")
+	if Corona().Fabric != "xbar" {
+		t.Error("XBar fabric name wrong")
 	}
 	if Default(HMesh, OCM).MemConfig().Name != "ocm" {
 		t.Error("OCM config wrong")
@@ -53,22 +53,87 @@ func TestSubConfigAccessors(t *testing.T) {
 	}
 }
 
-func TestMeshConfigPanicsForXBar(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MeshConfig on XBar did not panic")
+func TestPresetsValidate(t *testing.T) {
+	for _, c := range Combos() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
 		}
-	}()
-	Corona().MeshConfig()
+	}
+	if err := Custom("", "swmr", OCM, nil).Validate(); err != nil {
+		t.Errorf("SWMR/OCM: %v", err)
+	}
 }
 
-func TestXBarConfigPanicsForMesh(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("XBarConfig on mesh did not panic")
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	if err := Custom("", "warp-bus", OCM, nil).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "warp-bus") {
+		t.Errorf("unknown fabric not rejected: %v", err)
+	}
+	typo := Custom("", "xbar", OCM, map[string]int{"recv_bufer": 4})
+	if err := typo.Validate(); err == nil || !strings.Contains(err.Error(), "recv_bufer") {
+		t.Errorf("param typo not rejected: %v", err)
+	}
+	zero := Corona()
+	zero.Clusters = 0
+	if err := zero.Validate(); err == nil {
+		t.Error("zero clusters not rejected")
+	}
+}
+
+func TestCustomLabelAndName(t *testing.T) {
+	c := Custom("BigBuf", "xbar", OCM, map[string]int{"recv_buffer": 64})
+	if c.Name() != "BigBuf" {
+		t.Errorf("label not honoured: %s", c.Name())
+	}
+	if Custom("", "swmr", OCM, nil).Name() != "SWMR/OCM" {
+		t.Errorf("derived name wrong: %s", Custom("", "swmr", OCM, nil).Name())
+	}
+	// Unregistered fabrics degrade to the raw name, never panic.
+	if got := Custom("", "mystery", ECM, nil).Name(); got != "mystery/ECM" {
+		t.Errorf("unregistered fabric name = %s", got)
+	}
+}
+
+func TestParseKindsRoundTrip(t *testing.T) {
+	for _, n := range []NetworkKind{XBar, HMesh, LMesh} {
+		got, err := ParseNetworkKind(n.String())
+		if err != nil || got != n {
+			t.Errorf("ParseNetworkKind(%s) = %v, %v", n, got, err)
 		}
-	}()
-	Default(HMesh, OCM).XBarConfig()
+	}
+	for _, m := range []MemoryKind{OCM, ECM} {
+		got, err := ParseMemoryKind(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMemoryKind(%s) = %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseNetworkKind("Xbar"); err == nil ||
+		!strings.Contains(err.Error(), "XBar") {
+		t.Errorf("case typo must fail with the valid names listed: %v", err)
+	}
+	if _, err := ParseMemoryKind("ocm"); err == nil {
+		t.Error("lower-case memory name must fail (String round-trip only)")
+	}
+}
+
+func TestParseName(t *testing.T) {
+	for _, want := range []string{"XBar/OCM", "LMesh/ECM", "SWMR/OCM"} {
+		c, err := ParseName(want)
+		if err != nil {
+			t.Fatalf("ParseName(%s): %v", want, err)
+		}
+		if c.Name() != want {
+			t.Errorf("ParseName(%s).Name() = %s", want, c.Name())
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("ParseName(%s) invalid: %v", want, err)
+		}
+	}
+	for _, bad := range []string{"XBar", "XBar/OCM/extra", "Ring/OCM", "XBar/DDR"} {
+		if _, err := ParseName(bad); err == nil {
+			t.Errorf("ParseName(%s) accepted", bad)
+		}
+	}
 }
 
 func TestTable1Contents(t *testing.T) {
@@ -94,6 +159,15 @@ func TestTable4Contents(t *testing.T) {
 	for _, want := range []string{"256 fibers", "1536 pins", "10.24 TB/s", "0.96 TB/s", "20 ns", "128 b half duplex"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("Table 4 missing %q", want)
+		}
+	}
+}
+
+func TestFabricCatalog(t *testing.T) {
+	s := FabricCatalog().String()
+	for _, want := range []string{"xbar", "hmesh", "lmesh", "swmr", "20.48", "1.28", "0.64"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fabric catalog missing %q:\n%s", want, s)
 		}
 	}
 }

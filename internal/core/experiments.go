@@ -10,8 +10,11 @@ import (
 	"corona/internal/traffic"
 )
 
-// Sweep runs every workload on every configuration — the full experiment
-// matrix behind Figures 8, 9, 10, and 11.
+// Sweep runs every workload on every configuration. NewSweep prepares the
+// paper's 5x15 matrix behind Figures 8-11; NewMatrixSweep accepts any
+// configs x workloads matrix — six machines, one machine at twenty
+// parameter points, or anything a JSON scenario (LoadScenario) describes —
+// with the same engine, determinism guarantee, and on-disk cache.
 type Sweep struct {
 	Configs   []config.System
 	Workloads []traffic.Spec
@@ -33,11 +36,19 @@ func AllWorkloads() []traffic.Spec {
 	return specs
 }
 
-// NewSweep prepares the full 5-configuration x 15-workload matrix.
+// NewSweep prepares the paper's full 5-configuration x 15-workload matrix.
 func NewSweep(requests int, seed uint64) *Sweep {
+	return NewMatrixSweep(config.Combos(), AllWorkloads(), requests, seed)
+}
+
+// NewMatrixSweep prepares an arbitrary configs x workloads matrix. The
+// first configuration whose Name is "LMesh/ECM" is the speedup baseline;
+// when absent, the first configuration is (so order configs baseline-first
+// for custom matrices).
+func NewMatrixSweep(configs []config.System, workloads []traffic.Spec, requests int, seed uint64) *Sweep {
 	return &Sweep{
-		Configs:   config.Combos(),
-		Workloads: AllWorkloads(),
+		Configs:   configs,
+		Workloads: workloads,
 		Requests:  requests,
 		Seed:      seed,
 	}
@@ -120,7 +131,11 @@ func (s *Sweep) Run(opts ...Option) {
 	})
 }
 
-// baselineIndex locates LMesh/ECM, the speedup-1 reference.
+// BaselineName returns the display name of the speedup-1 reference column.
+func (s *Sweep) BaselineName() string { return s.Configs[s.baselineIndex()].Name() }
+
+// baselineIndex locates LMesh/ECM, the speedup-1 reference, falling back
+// to the first configuration for matrices without the paper's baseline.
 func (s *Sweep) baselineIndex() int {
 	for i, c := range s.Configs {
 		if c.Name() == "LMesh/ECM" {

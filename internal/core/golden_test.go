@@ -1,0 +1,113 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"corona/internal/config"
+)
+
+// TestGoldenFigureTables guards the refactor-safety criterion: the five
+// preset machines must render byte-identical Figure 8-11 tables to the
+// build that generated testdata/golden_figures.txt (captured before the
+// fabric-registry refactor). Any model change that legitimately moves the
+// numbers must regenerate the golden — and bump the sweep cache schema —
+// in the same commit, with the shift called out in the PR.
+func TestGoldenFigureTables(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_figures.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSweep(500, 1)
+	s.Run()
+	got := "Figure 8: Normalized Speedup (over LMesh/ECM)\n" + s.Figure8().String() +
+		"\nFigure 9: Achieved Bandwidth (TB/s)\n" + s.Figure9().String() +
+		"\nFigure 10: Average L2 Miss Latency (ns)\n" + s.Figure10().String() +
+		"\nFigure 11: On-chip Network Power (W)\n" + s.Figure11().String()
+	if got != string(want) {
+		t.Fatalf("preset figure tables diverged from the pre-refactor golden.\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}
+
+// sixMachineMatrix is the acceptance-criterion matrix: the paper's five
+// presets plus the SWMR/OCM variant, over all fifteen workloads.
+func sixMachineMatrix(requests int) *Sweep {
+	configs := append(config.Combos(), config.Custom("", "swmr", config.OCM, nil))
+	return NewMatrixSweep(configs, AllWorkloads(), requests, 42)
+}
+
+// TestMatrixSweepSixConfigsDeterministic runs the 6x15 matrix sequentially
+// and at several worker counts and asserts byte-identical tables — the
+// arbitrary-matrix generalization of the 5x15 determinism guarantee.
+func TestMatrixSweepSixConfigsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("90-cell matrix")
+	}
+	seq := sixMachineMatrix(300)
+	seq.Run(Workers(1))
+	if got := len(seq.Results[0]); got != 6 {
+		t.Fatalf("matrix has %d config columns, want 6", got)
+	}
+	want := sweepTables(seq)
+	for _, workers := range []int{0, 3, 8} {
+		par := sixMachineMatrix(300)
+		par.Run(Workers(workers))
+		if sweepTables(par) != want {
+			t.Fatalf("Workers(%d) 6x15 tables differ from sequential", workers)
+		}
+	}
+	// The SWMR column must be populated and distinct from XBar's: same
+	// photonic bandwidth, different arbitration and queueing structure.
+	var swmrDiffers bool
+	for w := range seq.Workloads {
+		xb, sw := seq.Results[w][4], seq.Results[w][5]
+		if sw.Cycles == 0 || sw.Config != "SWMR/OCM" {
+			t.Fatalf("SWMR cell %d empty or mislabelled: %+v", w, sw)
+		}
+		if sw.Cycles != xb.Cycles {
+			swmrDiffers = true
+		}
+	}
+	if !swmrDiffers {
+		t.Error("SWMR column identical to XBar on every workload (fabric seam suspicious)")
+	}
+}
+
+// TestSweepCacheDistinguishesParams is the cache-key collision regression:
+// two custom configs sharing a fabric (and thus nearly the same name-level
+// identity) must occupy distinct cache entries, because the key fingerprints
+// the full parameter set, not the display names.
+func TestSweepCacheDistinguishesParams(t *testing.T) {
+	dir := t.TempDir()
+	run := func(recvBuffer int) (*Sweep, int) {
+		cfg := config.Custom("Tuned", "swmr", config.OCM,
+			map[string]int{"recv_buffer": recvBuffer})
+		s := NewMatrixSweep([]config.System{cfg}, AllWorkloads()[:1], 300, 7)
+		hits := 0
+		s.Run(CacheDir(dir), OnProgress(func(p Progress) {
+			if p.Cached {
+				hits++
+			}
+		}))
+		return s, hits
+	}
+	small, h := run(2)
+	if h != 0 {
+		t.Fatalf("cold cache: %d hits", h)
+	}
+	big, h := run(16)
+	if h != 0 {
+		t.Fatalf("same label, different recv_buffer: %d cache hits (collision!)", h)
+	}
+	if small.Results[0][0] == big.Results[0][0] {
+		t.Fatal("2-credit and 16-credit runs produced identical results (param not applied)")
+	}
+	if _, h = run(2); h != 1 {
+		t.Fatalf("warm re-run of the 2-credit config: %d hits, want 1", h)
+	}
+	again, _ := run(2)
+	if again.Results[0][0] != small.Results[0][0] {
+		t.Fatal("cached result differs from the live 2-credit run")
+	}
+}

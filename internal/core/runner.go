@@ -4,12 +4,10 @@ import (
 	"fmt"
 
 	"corona/internal/config"
-	"corona/internal/mesh"
 	"corona/internal/power"
 	"corona/internal/sim"
 	"corona/internal/trace"
 	"corona/internal/traffic"
-	"corona/internal/xbar"
 )
 
 // Result is the outcome of one (configuration, workload) simulation — one
@@ -35,7 +33,10 @@ type Result struct {
 	NetMessages   uint64
 	NetBytes      uint64
 	HopTraversals uint64
-	XBarUtil      float64
+	// XBarUtil is mean data-channel occupancy for crossbar-family fabrics
+	// (those whose registry descriptor reports a channel utilization);
+	// mesh-style fabrics leave it zero.
+	XBarUtil float64
 	// KernelEvents is the number of discrete events the simulation kernel
 	// dispatched to produce this cell — the denominator for simulator
 	// throughput (events/sec) reporting.
@@ -200,12 +201,11 @@ func (r *Runner) collect() Result {
 	if sec := elapsed.Seconds(); sec > 0 {
 		res.AchievedTBs = float64(sys.WireBytes) / sec / 1e12
 	}
-	switch n := sys.Net.(type) {
-	case *xbar.Crossbar:
-		res.NetworkPowerW = power.XBarContinuousW
-		res.XBarUtil = n.Utilization(elapsed)
-	case *mesh.Mesh:
-		res.NetworkPowerW = power.MeshDynamicW(ns.HopTraversals, elapsed)
+	if sys.fabric.PowerW != nil {
+		res.NetworkPowerW = sys.fabric.PowerW(ns, elapsed)
+	}
+	if sys.fabric.Utilization != nil {
+		res.XBarUtil = sys.fabric.Utilization(sys.Net, elapsed)
 	}
 	memBytes := sys.MemoryBytesMoved()
 	if sys.Cfg.Mem == config.OCM {

@@ -12,12 +12,16 @@ import (
 	"corona/internal/traffic"
 )
 
-// cacheSchema versions the cached-entry layout. Bump it whenever Result
-// gains, loses, or reinterprets a field, so stale entries miss instead of
-// resurfacing with wrong shapes.
+// cacheSchema versions the cached-entry layout. Bump it whenever Result or
+// config.System gains, loses, or reinterprets a field, so stale entries
+// miss instead of resurfacing with wrong shapes.
 //
 // Schema 2: Result gained KernelEvents (time-wheel kernel PR).
-const cacheSchema = 2
+// Schema 3: config.System became declarative (Fabric name + FabricParams
+// map replacing the NetworkKind enum and typed overrides); keys now
+// fingerprint every sizing parameter, so two custom configs sharing a
+// fabric name can never collide.
+const cacheSchema = 3
 
 // cacheEntry is the on-disk form of one sweep cell. The fingerprint — the
 // full JSON of the cell's parameters, not just its labels — is stored

@@ -1,7 +1,10 @@
 // Package core assembles the full Corona system model — 64 cluster hubs, an
-// on-stack interconnect (optical crossbar or electrical mesh), and 64 memory
-// controllers with their off-stack links — and drives the trace-replay
-// experiments that reproduce the paper's evaluation (Figures 8-11).
+// on-stack interconnect, and 64 memory controllers with their off-stack
+// links — and drives the trace-replay experiments that reproduce the
+// paper's evaluation (Figures 8-11). The interconnect is resolved by name
+// through the noc fabric registry, so core knows nothing about individual
+// topologies: registering a new fabric (docs/ARCHITECTURE.md) makes it
+// buildable here, sweepable, and loadable from JSON with no core change.
 //
 // The hub mirrors Figure 2(b): it routes each L2 miss between the cluster,
 // the network interface, and the memory controller, holding it in a finite
@@ -24,12 +27,10 @@ import (
 	"corona/internal/cache"
 	"corona/internal/config"
 	"corona/internal/memory"
-	"corona/internal/mesh"
 	"corona/internal/noc"
 	"corona/internal/sim"
 	"corona/internal/stats"
 	"corona/internal/traffic"
-	"corona/internal/xbar"
 )
 
 // txn is one in-flight L2 miss transaction.
@@ -48,6 +49,10 @@ type System struct {
 	Cfg config.System
 	Net noc.Network
 	MCs []*memory.Controller
+
+	// fabric is the registry descriptor Net was built from; the result
+	// collector uses its analytic metadata (power, channel utilization).
+	fabric noc.Fabric
 
 	hubs []*hub
 
@@ -138,12 +143,16 @@ func NewSystem(cfg config.System) *System {
 		hubs:    make([]*hub, cfg.Clusters),
 		Latency: stats.NewHistogram(1 << 17),
 	}
-	switch cfg.Net {
-	case config.XBar:
-		s.Net = xbar.New(k, cfg.XBarConfig())
-	default:
-		s.Net = mesh.New(k, cfg.MeshConfig())
+	fab, ok := noc.Lookup(cfg.Fabric)
+	if !ok {
+		panic(fmt.Sprintf("core: %s: unknown fabric %q (registered: %v)",
+			cfg.Name(), cfg.Fabric, noc.Names()))
 	}
+	net, err := fab.Build(k, cfg.Params())
+	if err != nil {
+		panic(fmt.Sprintf("core: %s: %v", cfg.Name(), err))
+	}
+	s.fabric, s.Net = fab, net
 	if s.Net.Clusters() != cfg.Clusters {
 		panic(fmt.Sprintf("core: network has %d endpoints, config %d", s.Net.Clusters(), cfg.Clusters))
 	}
@@ -332,16 +341,7 @@ func (s *System) retire(t *txn) {
 }
 
 // NetworkStats returns the interconnect's counters.
-func (s *System) NetworkStats() noc.Stats {
-	switch n := s.Net.(type) {
-	case *xbar.Crossbar:
-		return n.Stats()
-	case *mesh.Mesh:
-		return n.Stats()
-	default:
-		return noc.Stats{}
-	}
-}
+func (s *System) NetworkStats() noc.Stats { return s.Net.Stats() }
 
 // MemoryBytesMoved sums controller traffic.
 func (s *System) MemoryBytesMoved() uint64 {

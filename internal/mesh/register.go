@@ -1,0 +1,103 @@
+package mesh
+
+import (
+	"fmt"
+
+	"corona/internal/noc"
+	"corona/internal/power"
+	"corona/internal/sim"
+)
+
+// Parameter keys the mesh fabrics accept in noc.FabricParams.Params; values
+// override the preset Config field-for-field. Width and height must be
+// overridden together and their product must equal the cluster count.
+const (
+	ParamWidth         = "width"
+	ParamHeight        = "height"
+	ParamBytesPerCycle = "bytes_per_cycle"
+	ParamHopLatency    = "hop_latency"
+	ParamLinkBuffer    = "link_buffer"
+	ParamInjectQueue   = "inject_queue"
+	ParamRecvBuffer    = "recv_buffer"
+)
+
+// FromParams resolves a Config from base (a preset such as HMeshConfig)
+// plus overrides, rejecting unknown keys, non-positive sizes, and geometry
+// that does not match the requested cluster count. When the cluster count
+// differs from the base geometry and no explicit width/height is given, a
+// square mesh is derived.
+func FromParams(base Config, p noc.FabricParams) (Config, error) {
+	if err := p.CheckKeys(base.Name, ParamWidth, ParamHeight, ParamBytesPerCycle,
+		ParamHopLatency, ParamLinkBuffer, ParamInjectQueue, ParamRecvBuffer); err != nil {
+		return Config{}, err
+	}
+	cfg := base
+	cfg.Width = p.Get(ParamWidth, cfg.Width)
+	cfg.Height = p.Get(ParamHeight, cfg.Height)
+	cfg.BytesPerCycle = p.Get(ParamBytesPerCycle, cfg.BytesPerCycle)
+	cfg.HopLatency = sim.Time(p.Get(ParamHopLatency, int(cfg.HopLatency)))
+	cfg.LinkBuffer = p.Get(ParamLinkBuffer, cfg.LinkBuffer)
+	cfg.InjectQueue = p.Get(ParamInjectQueue, cfg.InjectQueue)
+	cfg.RecvBuffer = p.Get(ParamRecvBuffer, cfg.RecvBuffer)
+	if p.Clusters > 0 && cfg.Width*cfg.Height != p.Clusters {
+		_, wOver := p.Params[ParamWidth]
+		_, hOver := p.Params[ParamHeight]
+		if wOver || hOver {
+			return Config{}, fmt.Errorf("mesh: %dx%d geometry has %d routers, system wants %d clusters",
+				cfg.Width, cfg.Height, cfg.Width*cfg.Height, p.Clusters)
+		}
+		side := 1
+		for side*side < p.Clusters {
+			side++
+		}
+		if side*side != p.Clusters {
+			return Config{}, fmt.Errorf("mesh: %d clusters is not a perfect square; pass explicit %s/%s",
+				p.Clusters, ParamWidth, ParamHeight)
+		}
+		cfg.Width, cfg.Height = side, side
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.BytesPerCycle <= 0 || cfg.HopLatency <= 0 ||
+		cfg.LinkBuffer <= 0 || cfg.InjectQueue <= 0 || cfg.RecvBuffer <= 0 {
+		return Config{}, fmt.Errorf("mesh: non-positive parameter in %+v", cfg)
+	}
+	return cfg, nil
+}
+
+// registerMesh registers one mesh preset under its fabric name.
+func registerMesh(name, display, desc string, base func() Config) {
+	noc.Register(noc.Fabric{
+		Name:        name,
+		Display:     display,
+		Description: desc,
+		Build: func(k *sim.Kernel, p noc.FabricParams) (noc.Network, error) {
+			cfg, err := FromParams(base(), p)
+			if err != nil {
+				return nil, err
+			}
+			return New(k, cfg), nil
+		},
+		Check: func(p noc.FabricParams) error { _, err := FromParams(base(), p); return err },
+		BisectionBytesPerSec: func(p noc.FabricParams) float64 {
+			cfg, err := FromParams(base(), p)
+			if err != nil {
+				return 0
+			}
+			return cfg.BisectionBytesPerSec()
+		},
+		MinTransitCycles: base().HopLatency * 2, // one hop plus ejection
+		PowerW: func(st noc.Stats, elapsed sim.Time) float64 {
+			return power.MeshDynamicW(st.HopTraversals, elapsed)
+		},
+		// Utilization is deliberately nil: mesh link occupancy is not the
+		// crossbar channel-utilization figure of merit.
+	})
+}
+
+// init registers the paper's two electrical baselines with the fabric
+// registry; the system model builds them by name ("hmesh", "lmesh").
+func init() {
+	registerMesh("hmesh", "HMesh",
+		"high-performance electrical 2D mesh, 1.28 TB/s bisection (Section 4)", HMeshConfig)
+	registerMesh("lmesh", "LMesh",
+		"low-performance electrical 2D mesh, 0.64 TB/s bisection (Section 4)", LMeshConfig)
+}

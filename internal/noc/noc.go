@@ -1,5 +1,8 @@
 // Package noc defines the message and network abstractions shared by the
-// optical crossbar, the optical broadcast bus, and the electrical meshes.
+// optical crossbars, the optical broadcast bus, and the electrical meshes,
+// and hosts the fabric registry through which the system model constructs
+// its interconnect by name (Register / Lookup; see docs/ARCHITECTURE.md for
+// the registry design and a walkthrough of adding a new topology).
 //
 // A network moves Messages between cluster endpoints. Senders inject through
 // Send, which may refuse a message when the per-source injection queue is
@@ -103,6 +106,8 @@ type Network interface {
 	// message identifies which buffer pool (virtual network) the freed slot
 	// belongs to.
 	Consume(cluster int, m *Message)
+	// Stats returns the network's delivery counters.
+	Stats() Stats
 }
 
 // Stats aggregates the counters every network implementation maintains.

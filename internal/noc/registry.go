@@ -1,0 +1,156 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"corona/internal/sim"
+)
+
+// FabricParams is the generic sizing input a fabric builder receives: the
+// endpoint count the system requires plus fabric-specific integer overrides.
+// A nil (or empty) Params map selects the fabric's published defaults;
+// builders must reject unknown keys with a descriptive error, so a typo in a
+// JSON config fails loudly instead of silently simulating the default.
+type FabricParams struct {
+	// Clusters is the number of network endpoints the system will attach.
+	Clusters int
+	// Params holds fabric-specific sizing overrides, keyed by the names each
+	// builder documents (e.g. "bytes_per_cycle", "recv_buffer").
+	Params map[string]int
+}
+
+// Get returns the override for key, or def when absent.
+func (p FabricParams) Get(key string, def int) int {
+	if v, ok := p.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// CheckKeys returns an error if Params contains a key outside known — the
+// shared typo guard every builder applies before interpreting overrides.
+func (p FabricParams) CheckKeys(fabric string, known ...string) error {
+	for k := range p.Params {
+		ok := false
+		for _, w := range known {
+			if k == w {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			sort.Strings(known)
+			return fmt.Errorf("noc: fabric %q has no parameter %q (valid: %v)", fabric, k, known)
+		}
+	}
+	return nil
+}
+
+// BuildFunc constructs a fabric's network model on kernel k.
+type BuildFunc func(k *sim.Kernel, p FabricParams) (Network, error)
+
+// Fabric describes one registered interconnect: how to build it, how to
+// label it, and the analytic metadata the experiment layer reports without
+// simulating (bisection bandwidth, power, channel utilization). Everything
+// the core system assembly needs flows through this descriptor, so adding a
+// topology never touches package core — see docs/ARCHITECTURE.md for the
+// walkthrough.
+type Fabric struct {
+	// Name is the registry key, by convention lower-case ("xbar", "hmesh").
+	Name string
+	// Display is the label fragment used in configuration names ("XBar" in
+	// "XBar/OCM"). Defaults to Name when empty.
+	Display string
+	// Description is a one-line summary for catalogs and error messages.
+	Description string
+
+	// Build constructs the network. Required.
+	Build BuildFunc
+	// Check validates params without building (used by config loaders to
+	// reject bad files before any simulation starts). Optional; builders
+	// whose constructors are cheap may leave it nil and rely on Build.
+	Check func(p FabricParams) error
+
+	// BisectionBytesPerSec returns the analytic bisection bandwidth for the
+	// given params, in bytes/second. Optional.
+	BisectionBytesPerSec func(p FabricParams) float64
+	// MinTransitCycles is the best-case endpoint-to-endpoint transit latency
+	// in cycles (analytic, uncontended). Zero when not stated.
+	MinTransitCycles sim.Time
+
+	// PowerW returns the on-chip network power of a finished run from the
+	// network's counters and the elapsed simulated time (Figure 11's model).
+	// Optional; nil reports zero.
+	PowerW func(st Stats, elapsed sim.Time) float64
+	// Utilization, when non-nil, reports mean data-channel occupancy over a
+	// run (0..1) for crossbar-style fabrics whose channel utilization is a
+	// first-class figure of merit. Mesh-style fabrics, whose link-occupancy
+	// metric is not comparable, leave it nil.
+	Utilization func(n Network, elapsed sim.Time) float64
+}
+
+// label returns the display fragment for configuration names.
+func (f Fabric) label() string {
+	if f.Display != "" {
+		return f.Display
+	}
+	return f.Name
+}
+
+// registry is the process-wide fabric catalog. Built-in fabrics register
+// from init (package config imports them for side effect); user fabrics
+// register through the corona façade at startup. Reads vastly outnumber
+// writes, hence the RWMutex.
+var registry = struct {
+	sync.RWMutex
+	fabrics map[string]Fabric
+}{fabrics: map[string]Fabric{}}
+
+// Register adds f to the fabric catalog. It panics on an empty name, a nil
+// builder, or a duplicate registration — all programmer errors that should
+// fail at startup, not mid-sweep.
+func Register(f Fabric) {
+	if f.Name == "" {
+		panic("noc: Register with empty fabric name")
+	}
+	if f.Build == nil {
+		panic(fmt.Sprintf("noc: fabric %q registered without a builder", f.Name))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.fabrics[f.Name]; dup {
+		panic(fmt.Sprintf("noc: fabric %q registered twice", f.Name))
+	}
+	registry.fabrics[f.Name] = f
+}
+
+// Lookup returns the fabric registered under name.
+func Lookup(name string) (Fabric, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	f, ok := registry.fabrics[name]
+	return f, ok
+}
+
+// DisplayName returns the registered display label for name, or name itself
+// when unregistered (so configuration labels degrade gracefully).
+func DisplayName(name string) string {
+	if f, ok := Lookup(name); ok {
+		return f.label()
+	}
+	return name
+}
+
+// Names returns the registered fabric names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.fabrics))
+	for n := range registry.fabrics {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

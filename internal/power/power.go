@@ -18,6 +18,11 @@ import "corona/internal/sim"
 const (
 	// XBarContinuousW is the crossbar's fixed power draw in watts.
 	XBarContinuousW = 26.0
+	// SWMRContinuousW is the single-writer multiple-reader crossbar's fixed
+	// draw: the MWSR baseline plus trimming/tuning power for the additional
+	// receive rings (every cluster filters every channel's wavelengths,
+	// where the MWSR design detects only its own home channel).
+	SWMRContinuousW = 32.0
 	// PhotonicSubsystemW is the total photonic interconnect power budget.
 	PhotonicSubsystemW = 39.0
 	// MeshHopEnergyPJ is the electrical mesh's energy per transaction per hop.
