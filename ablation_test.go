@@ -13,6 +13,7 @@ package corona
 // applied to the ablation matrix.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -42,7 +43,10 @@ func ablationSpec() traffic.Spec {
 // sub-benchmark per point reporting metric(result).
 func reportAblation(b *testing.B, names []string, cells []core.Cell, unit string, metric func(core.Result) float64) {
 	b.Helper()
-	results := core.RunCells(cells, 0)
+	results, err := core.RunCells(context.Background(), cells, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := range cells {
 		v := metric(results[i])
 		b.Run(names[i], func(b *testing.B) {

@@ -15,6 +15,7 @@ package corona
 
 import (
 	"container/heap"
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -44,7 +45,9 @@ func benchSweep(b *testing.B) *core.Sweep {
 	b.Helper()
 	sweepOnce.Do(func() {
 		s := core.NewSweep(benchRequests, 42)
-		s.Run() // parallel engine, GOMAXPROCS workers
+		if err := s.Run(context.Background()); err != nil { // parallel engine, GOMAXPROCS workers
+			b.Fatal(err)
+		}
 		sweepShared = s
 	})
 	return sweepShared
@@ -67,14 +70,18 @@ func BenchmarkSweepEngine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		seq := core.NewSweep(requests, 42)
 		t0 := time.Now()
-		seq.Run(core.Workers(1))
+		if err := seq.Run(context.Background(), core.Workers(1)); err != nil {
+			b.Fatal(err)
+		}
 		seqElapsed := time.Since(t0)
 
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
 		par := core.NewSweep(requests, 42)
 		t1 := time.Now()
-		par.Run()
+		if err := par.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
 		parElapsed := time.Since(t1)
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
@@ -422,5 +429,7 @@ func BenchmarkComponentMemory(b *testing.B) {
 func BenchmarkComponentEndToEnd(b *testing.B) {
 	spec := traffic.Spec{Name: "bench", Kind: traffic.Uniform, DemandTBs: 3, WriteFrac: 0.3}
 	b.ResetTimer()
-	core.Run(config.Corona(), spec, b.N, 7)
+	if _, err := core.Run(context.Background(), config.Corona(), spec, b.N, 7); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -19,16 +19,35 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"corona/internal/config"
 	"corona/internal/photonic"
 	"corona/internal/stack"
 )
 
-func main() {
+// tables is the -table vocabulary; an unknown selection is rejected up
+// front (exit 2) instead of silently printing nothing.
+var tables = []string{"1", "2", "3", "4", "fabrics", "budget", "stack", "yield", "all"}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	table := flag.String("table", "all", "which table to print: 1, 2, 3, 4, fabrics, budget, stack, yield, or all")
 	launch := flag.Float64("launch", 10, "per-wavelength laser launch power in dBm for the budgets")
 	flag.Parse()
+
+	known := false
+	for _, name := range tables {
+		if *table == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "corona-inventory: unknown table %q (valid: %v)\n", *table, tables)
+		return 2
+	}
 
 	want := func(name string) bool { return *table == "all" || *table == name }
 
@@ -67,4 +86,5 @@ func main() {
 		fmt.Printf("\nMax OCM daisy-chain depth at %.1f dBm launch (1 dB margin): %d modules\n",
 			*launch, photonic.MaxOCMModules(*launch, 1))
 	}
+	return 0
 }

@@ -1,0 +1,94 @@
+// Command corona-serve is the Corona experiment daemon: an HTTP/JSON
+// front-end over the context-aware Client/Job engine, so the scenario space
+// opened by the fabric registry can be driven remotely — submitted,
+// watched, streamed, and canceled — instead of one blocking CLI run at a
+// time.
+//
+// Usage:
+//
+//	corona-serve [-addr HOST:PORT] [-workers W] [-cache DIR]
+//	             [-queue N] [-runners R] [-drain DUR]
+//
+// API (see docs/API.md for a curl walkthrough):
+//
+//	POST   /v1/jobs              submit a scenario JSON (the corona-sweep
+//	                             -config schema); returns the job id
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         status and progress
+//	GET    /v1/jobs/{id}/results NDJSON stream of cells as they complete
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/fabrics           registered interconnect catalog
+//	GET    /healthz              liveness
+//
+// Jobs wait in a bounded queue (-queue; full queue = 503) and run -runners
+// at a time, each fanning its cells over a -workers pool; -cache shares one
+// on-disk result cache across all jobs, so resubmitted or overlapping
+// scenarios only simulate cells they have not seen. SIGINT/SIGTERM trigger
+// a graceful shutdown: stop accepting, cancel running jobs (completed cells
+// stay cached), drain for up to -drain, exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"corona/internal/core"
+	"corona/internal/server"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8451", "listen address")
+	workers := flag.Int("workers", 0, "per-job worker pool size; 0 = GOMAXPROCS, 1 = sequential")
+	cacheDir := flag.String("cache", "", "shared on-disk result cache directory (empty disables)")
+	queue := flag.Int("queue", 16, "bounded job queue depth; submissions beyond it get 503")
+	runners := flag.Int("runners", 1, "jobs executed concurrently")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Options{
+		Client:     core.NewClient(core.WithWorkers(*workers), core.WithCacheDir(*cacheDir)),
+		QueueDepth: *queue,
+		Runners:    *runners,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "corona-serve: listening on http://%s (queue %d, %d runner(s))\n",
+		*addr, *queue, *runners)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure here (Shutdown happens on
+		// the signal path below).
+		fmt.Fprintf(os.Stderr, "corona-serve: %v\n", err)
+		srv.Close()
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Fprintf(os.Stderr, "corona-serve: shutting down — canceling jobs, draining for up to %v\n", *drain)
+
+	// Cancel jobs first so live NDJSON streams reach their terminal state,
+	// then let the HTTP server drain those connections.
+	srv.Close()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "corona-serve: shutdown: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -17,14 +17,22 @@
 // every selected configuration concurrently (one sweep pool worker per
 // configuration, identical traffic seed for each) and prints the workload's
 // row of Figures 8-10.
+//
+// Simulations run through the Client API (docs/API.md): invalid input —
+// unknown presets, bad scenarios, malformed traces — exits 2 with the typed
+// configuration error's message, simulation failures exit 1, and Ctrl-C
+// cancels a long run cleanly instead of leaving it wedged.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"corona"
 	"corona/internal/config"
@@ -44,12 +52,28 @@ func resolveConfigs(arg string) ([]config.System, error) {
 	}
 	cfg, err := config.ParseName(arg)
 	if err != nil {
-		return nil, err
+		// ParseName's rejection is invalid input; type it so fail() maps it
+		// to the usage exit code.
+		return nil, &core.ConfigError{Name: arg, Err: err}
 	}
 	return []config.System{cfg}, nil
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// fail prints err and maps it to an exit code: 2 for invalid input (typed
+// *core.ConfigError), 1 for everything else — the CLI surface of the typed
+// error scheme.
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "corona-sim: %v\n", err)
+	var ce *core.ConfigError
+	if errors.As(err, &ce) {
+		return 2
+	}
+	return 1
+}
+
+func run() int {
 	cfgName := flag.String("config", "XBar/OCM", "preset (XBar/OCM ... LMesh/ECM, SWMR/OCM) or a JSON scenario file")
 	wlName := flag.String("workload", "Uniform", "workload name (Table 3: Uniform, Hot Spot, Tornado, Transpose, Barnes, ..., Water-Sp)")
 	requests := flag.Int("requests", 50000, "L2 misses to simulate")
@@ -59,22 +83,27 @@ func main() {
 	compare := flag.Bool("compare", false, "run the workload on every selected configuration in parallel and print the comparison")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := core.NewClient()
+
 	if *compare {
 		if *traceFile != "" {
-			log.Fatal("-compare runs a synthetic workload on every configuration; it cannot be combined with -trace")
+			return fail(&core.ConfigError{Name: "flags",
+				Err: fmt.Errorf("-compare runs a synthetic workload on every configuration; it cannot be combined with -trace")})
 		}
 		spec, ok := core.FindWorkload(*wlName)
 		if !ok {
-			log.Fatalf("unknown workload %q", *wlName)
+			return fail(&core.ConfigError{Name: *wlName, Err: fmt.Errorf("unknown workload %q", *wlName)})
 		}
 		configs := corona.Configurations()
+		var resolveErr error
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name != "config" {
+			if f.Name != "config" || resolveErr != nil {
 				return
 			}
-			var err error
-			if configs, err = resolveConfigs(*cfgName); err != nil {
-				log.Fatal(err)
+			if configs, resolveErr = resolveConfigs(*cfgName); resolveErr != nil {
+				return
 			}
 			if len(configs) == 1 {
 				fmt.Fprintln(os.Stderr, "note: single -config with -compare; comparing it against the five presets")
@@ -85,7 +114,13 @@ func main() {
 				}
 			}
 		})
-		results := corona.CompareConfigs(spec, *requests, *seed, configs...)
+		if resolveErr != nil {
+			return fail(resolveErr)
+		}
+		results, err := client.Compare(ctx, spec, *requests, *seed, configs...)
+		if err != nil {
+			return fail(err)
+		}
 		baseline := results[0]
 		fmt.Printf("workload %q, %d requests per configuration, seed %d\n\n", spec.Name, *requests, *seed)
 		fmt.Printf("%-12s  %10s  %9s  %12s  %8s\n", "config", "cycles", "TB/s", "latency(ns)", "speedup")
@@ -93,12 +128,12 @@ func main() {
 			fmt.Printf("%-12s  %10d  %9.2f  %12.1f  %8.2f\n",
 				r.Config, r.Cycles, r.AchievedTBs, r.MeanLatencyNs, r.Speedup(baseline))
 		}
-		return
+		return 0
 	}
 
 	configs, err := resolveConfigs(*cfgName)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	cfg := configs[0]
 	if len(configs) > 1 {
@@ -110,25 +145,28 @@ func main() {
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		defer f.Close()
 		r, err := trace.NewReader(f)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		recs, err := trace.ReadAll(r)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		sys := core.NewSystem(cfg)
-		res = core.NewTraceRunner(sys, recs, *threads).Run()
+		if res, err = client.Replay(ctx, cfg, recs, *threads); err != nil {
+			return fail(err)
+		}
 	} else {
 		spec, ok := core.FindWorkload(*wlName)
 		if !ok {
-			log.Fatalf("unknown workload %q", *wlName)
+			return fail(&core.ConfigError{Name: *wlName, Err: fmt.Errorf("unknown workload %q", *wlName)})
 		}
-		res = core.Run(cfg, spec, *requests, *seed)
+		if res, err = client.Run(ctx, cfg, spec, *requests, *seed); err != nil {
+			return fail(err)
+		}
 	}
 
 	fmt.Printf("configuration:        %s\n", res.Config)
@@ -147,4 +185,5 @@ func main() {
 	if res.XBarUtil > 0 {
 		fmt.Printf("crossbar utilization: %.1f%%\n", res.XBarUtil*100)
 	}
+	return 0
 }

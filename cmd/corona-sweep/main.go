@@ -16,12 +16,19 @@
 // the file's values. See examples/custom-fabric/scenario.json and
 // docs/ARCHITECTURE.md for the schema.
 //
-// The cells are independent deterministic simulations, so the sweep fans
-// them out over a bounded worker pool (GOMAXPROCS workers by default;
-// -workers 1 forces the sequential debugging path). Tables are bit-identical
-// for any worker count — see docs/DETERMINISM.md. With -cache DIR, finished
-// cells are persisted and later runs re-simulate only cells whose full
-// configuration fingerprint changed.
+// The matrix is submitted through the Client/Job API (docs/API.md): cells
+// fan out over a bounded worker pool (GOMAXPROCS workers by default;
+// -workers 1 forces the sequential debugging path) and stream back as they
+// finish, which is what -v prints. Tables are bit-identical for any worker
+// count — see docs/DETERMINISM.md. With -cache DIR, finished cells are
+// persisted and later runs re-simulate only cells whose full configuration
+// fingerprint changed.
+//
+// Ctrl-C (or SIGTERM) cancels the sweep gracefully: in-flight cells stop at
+// their next kernel checkpoint, every already-finished cell's cache entry
+// is durable (entries are written atomically as cells complete), and the
+// command exits non-zero after reporting how far it got — re-run with the
+// same -cache to resume from the completed cells.
 //
 // The paper ran 0.6M-240M requests per cell (Table 3); the default here is
 // 20000, which reproduces the shapes in seconds on a multicore machine.
@@ -33,11 +40,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"corona/internal/core"
@@ -60,6 +71,11 @@ func run() (code int) {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file after the sweep")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancel the sweep's context; the engine drains, keeps
+	// every completed cache entry, and we exit non-zero below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -88,7 +104,7 @@ func run() (code int) {
 		sc, err := core.LoadScenario(*configFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "corona-sweep: %v\n", err)
-			return 1
+			return 2
 		}
 		// Explicit flags win over the file's values.
 		flag.Visit(func(f *flag.Flag) {
@@ -103,20 +119,44 @@ func run() (code int) {
 	} else {
 		s = core.NewSweep(*requests, *seed)
 	}
-	opts := []core.Option{core.Workers(*workers), core.CacheDir(*cacheDir)}
-	if *verbose {
-		opts = append(opts, core.OnProgress(func(p core.Progress) {
+
+	client := core.NewClient(core.WithWorkers(*workers), core.WithCacheDir(*cacheDir))
+	start := time.Now()
+	job, err := client.Submit(ctx, s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corona-sweep: %v\n", err)
+		return 2
+	}
+	total := len(s.Configs) * len(s.Workloads)
+	done := 0
+	for cell := range job.Results() {
+		done++
+		if *verbose {
 			note := ""
-			if p.Cached {
+			if cell.Cached {
 				note = " (cached)"
 			}
-			fmt.Fprintf(os.Stderr, "[%2d/%d] %s on %s%s\n", p.Done, p.Total, p.Workload, p.Config, note)
-		}))
+			fmt.Fprintf(os.Stderr, "[%2d/%d] %s on %s%s\n", done, total, cell.Workload, cell.Config, note)
+		}
 	}
-	start := time.Now()
-	s.Run(opts...)
+	if err := job.Wait(context.Background()); err != nil {
+		var canceled *core.CanceledError
+		if errors.As(err, &canceled) {
+			fmt.Fprintf(os.Stderr, "corona-sweep: interrupted with %d of %d cells finished",
+				canceled.Completed, canceled.Total)
+			if *cacheDir != "" {
+				fmt.Fprintf(os.Stderr, "; their results are cached in %s — re-run to resume from there", *cacheDir)
+			} else {
+				fmt.Fprint(os.Stderr, "; partial results discarded (use -cache to make interrupted sweeps resumable)")
+			}
+			fmt.Fprintln(os.Stderr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "corona-sweep: %v\n", err)
+		return 1
+	}
 	fmt.Fprintf(os.Stderr, "sweep of %d cells x %d requests took %v\n",
-		len(s.Configs)*len(s.Workloads), s.Requests, time.Since(start).Round(time.Millisecond))
+		total, s.Requests, time.Since(start).Round(time.Millisecond))
 
 	show := func(name, title string, tab fmt.Stringer) {
 		if *fig != "all" && *fig != name {

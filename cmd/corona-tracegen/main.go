@@ -12,12 +12,14 @@
 //
 //	corona-tracegen -o fft.trc -workload FFT -n 100000
 //	corona-tracegen -o cache.trc -mode cache -n 100000 -working-set 65536
+//
+// Invalid input (unknown workload or mode) exits 2; I/O failures exit 1.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"corona/internal/cluster"
@@ -26,7 +28,18 @@ import (
 	"corona/internal/traffic"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "corona-tracegen: %v\n", err)
+	var ce *core.ConfigError
+	if errors.As(err, &ce) {
+		return 2
+	}
+	return 1
+}
+
+func run() int {
 	out := flag.String("o", "corona.trc", "output trace file")
 	mode := flag.String("mode", "workload", "generation mode: workload or cache")
 	wlName := flag.String("workload", "Uniform", "workload model name (workload mode)")
@@ -37,33 +50,37 @@ func main() {
 	clusters := flag.Int("clusters", 64, "cluster count")
 	flag.Parse()
 
+	// Validate every input before os.Create truncates -o: a typo must never
+	// destroy an existing trace file.
+	var spec traffic.Spec
+	switch *mode {
+	case "workload":
+		var found bool
+		if spec, found = core.FindWorkload(*wlName); !found {
+			return fail(&core.ConfigError{Name: *wlName, Err: fmt.Errorf("unknown workload %q", *wlName)})
+		}
+	case "cache":
+	default:
+		return fail(&core.ConfigError{Name: *mode,
+			Err: fmt.Errorf("unknown mode %q (valid: workload, cache)", *mode)})
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	defer f.Close()
 	w, err := trace.NewWriter(f, uint64(*n))
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 
 	switch *mode {
 	case "workload":
-		var spec traffic.Spec
-		found := false
-		for _, s := range core.AllWorkloads() {
-			if s.Name == *wlName {
-				spec, found = s, true
-				break
-			}
-		}
-		if !found {
-			log.Fatalf("unknown workload %q", *wlName)
-		}
 		g := traffic.NewGenerator(spec, *clusters, *seed)
 		for i := 0; i < *n; i++ {
 			if err := w.Write(g.Next(i % *clusters)); err != nil {
-				log.Fatal(err)
+				return fail(err)
 			}
 		}
 	case "cache":
@@ -81,15 +98,14 @@ func main() {
 				count++
 			}
 			if err := eng.Generate(w, count); err != nil {
-				log.Fatal(err)
+				return fail(err)
 			}
 		}
-	default:
-		log.Fatalf("unknown mode %q", *mode)
 	}
 
 	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	fmt.Printf("wrote %d records to %s\n", w.Count(), *out)
+	return 0
 }

@@ -8,14 +8,20 @@
 //
 // The package is a façade over the simulation library in internal/:
 //
-//   - BuildSystem / RunWorkload simulate one (configuration, workload) pair,
-//     with detailed finite-buffer models of the crossbars, meshes, token
-//     arbitration, hubs, MSHRs, and memory controllers.
-//   - NewSweep runs the paper's full 5-configuration x 15-workload matrix
-//     and renders Figures 8-11 as tables. Sweep.Run fans the independent
-//     cells out over a bounded worker pool (Workers option, GOMAXPROCS by
-//     default) with derived per-workload seeds, and can persist finished cells
-//     in an on-disk cache (CacheDir option).
+//   - Client is the execution entry point: every call takes a
+//     context.Context and returns (Result, error) — invalid input is a
+//     *ConfigError, a stopped run a *CanceledError — with detailed
+//     finite-buffer models of the crossbars, meshes, token arbitration,
+//     hubs, MSHRs, and memory controllers underneath. Client.Submit runs a
+//     sweep as an asynchronous Job whose cells stream from Job.Results as
+//     shards finish; docs/API.md documents the model, the migration from
+//     the legacy blocking calls, and the corona-serve HTTP daemon built on
+//     it (cmd/corona-serve).
+//   - NewSweep prepares the paper's full 5-configuration x 15-workload
+//     matrix and renders Figures 8-11 as tables. Sweep.Run fans the
+//     independent cells out over a bounded worker pool (Workers option,
+//     GOMAXPROCS by default) with derived per-workload seeds, and can
+//     persist finished cells in an on-disk cache (CacheDir option).
 //   - NewMatrixSweep generalizes the same engine to any configurations x
 //     workloads matrix; CustomConfig describes a machine over any registered
 //     fabric, LoadScenario reads a whole matrix from JSON, and RegisterFabric
@@ -32,6 +38,8 @@
 package corona
 
 import (
+	"context"
+
 	"corona/internal/config"
 	"corona/internal/core"
 	"corona/internal/noc"
@@ -123,22 +131,73 @@ func SplashWorkloads() []Workload { return splash.Specs() }
 // AllWorkloads returns all fifteen workloads in figure order.
 func AllWorkloads() []Workload { return core.AllWorkloads() }
 
+// Client is the context-aware execution entry point: one-shot runs, trace
+// replays, config comparisons, and streaming sweep Jobs, all returning
+// typed errors instead of panicking. A Client is immutable and safe for
+// concurrent use — build one per process (or per server) with NewClient.
+type Client = core.Client
+
+// ClientOption configures a NewClient call.
+type ClientOption = core.ClientOption
+
+// Job is a submitted, asynchronously running sweep: consume cells from
+// Job.Results as shards finish, or block on Job.Wait for the barrier.
+type Job = core.Job
+
+// CellResult is one completed sweep cell as streamed from Job.Results.
+type CellResult = core.CellResult
+
+// ConfigError marks invalid configuration or scenario input; test with
+// errors.As. Servers map it to a 4xx, CLIs to a usage error.
+type ConfigError = core.ConfigError
+
+// CanceledError reports a run stopped by context cancellation, with its
+// progress at the stop; it unwraps to the context's error, so
+// errors.Is(err, context.Canceled) holds.
+type CanceledError = core.CanceledError
+
+// NewClient returns a Client with the given execution defaults.
+func NewClient(opts ...ClientOption) *Client { return core.NewClient(opts...) }
+
+// WithWorkers sets a client's default worker pool size (0 = GOMAXPROCS,
+// 1 = sequential).
+func WithWorkers(n int) ClientOption { return core.WithWorkers(n) }
+
+// WithCacheDir sets a client's on-disk sweep result cache directory.
+func WithCacheDir(dir string) ClientOption { return core.WithCacheDir(dir) }
+
 // RunWorkload simulates `requests` L2 misses of spec on cfg. Deterministic
 // per seed.
+//
+// Deprecated: RunWorkload blocks, cannot be canceled, and panics on invalid
+// configurations. Use (*Client).Run, which takes a context and returns
+// typed errors; see docs/API.md for the migration table. This wrapper is
+// kept so existing callers keep compiling and keep their exact behavior.
 func RunWorkload(cfg SystemConfig, spec Workload, requests int, seed uint64) Result {
-	return core.Run(cfg, spec, requests, seed)
+	res, err := core.Run(context.Background(), cfg, spec, requests, seed)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // ReplayTrace replays recorded misses on cfg; threadsPerCluster maps trace
 // thread ids onto clusters (16 for a full 1024-thread Corona).
+//
+// Deprecated: use (*Client).Replay, which takes a context and returns typed
+// errors instead of panicking on invalid traces (docs/API.md).
 func ReplayTrace(cfg SystemConfig, recs []TraceRecord, threadsPerCluster int) Result {
-	sys := core.NewSystem(cfg)
-	return core.NewTraceRunner(sys, recs, threadsPerCluster).Run()
+	res, err := core.NewClient().Replay(context.Background(), cfg, recs, threadsPerCluster)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // NewSweep prepares the 5x15 experiment matrix at `requests` misses per
-// cell. Call Run — optionally with Workers, CacheDir, and OnProgress — then
-// Figure8..Figure11 for the tables.
+// cell. Run it with Sweep.Run(ctx, ...) — optionally with Workers,
+// CacheDir, and OnProgress — or submit it as a streaming Job with
+// (*Client).Submit, then Figure8..Figure11 for the tables.
 func NewSweep(requests int, seed uint64) *Sweep { return core.NewSweep(requests, seed) }
 
 // NewMatrixSweep prepares an arbitrary configs x workloads matrix on the
@@ -184,15 +243,16 @@ func OnProgress(fn func(SweepProgress)) SweepOption { return core.OnProgress(fn)
 // explicit configs it compares the five paper machines in Configurations()
 // order: one workload's row of Figures 8-10. Pass any mix of presets and
 // custom configs to widen the row.
+//
+// Deprecated: use (*Client).Compare, which takes a context and returns
+// typed errors instead of panicking on invalid configurations
+// (docs/API.md).
 func CompareConfigs(spec Workload, requests int, seed uint64, configs ...SystemConfig) []Result {
-	if len(configs) == 0 {
-		configs = config.Combos()
+	res, err := core.NewClient().Compare(context.Background(), spec, requests, seed, configs...)
+	if err != nil {
+		panic(err)
 	}
-	cells := make([]core.Cell, len(configs))
-	for i, c := range configs {
-		cells[i] = core.Cell{Config: c, Spec: spec, Requests: requests, Seed: seed}
-	}
-	return core.RunCells(cells, 0)
+	return res
 }
 
 // Table1 returns the paper's resource configuration table.

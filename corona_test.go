@@ -2,6 +2,8 @@ package corona
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -85,7 +87,9 @@ func TestPublicBudgets(t *testing.T) {
 func TestPublicSweep(t *testing.T) {
 	s := NewSweep(300, 2)
 	s.Workloads = s.Workloads[:1]
-	s.Run()
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(s.Figure8().String(), "Uniform") {
 		t.Fatal("Figure 8 missing workload row")
 	}
@@ -105,9 +109,13 @@ func TestPublicSweepParallelDeterminism(t *testing.T) {
 		return s
 	}
 	seq := mk()
-	seq.Run(Workers(1))
+	if err := seq.Run(context.Background(), Workers(1)); err != nil {
+		t.Fatal(err)
+	}
 	par := mk()
-	par.Run(Workers(8), CacheDir(t.TempDir()))
+	if err := par.Run(context.Background(), Workers(8), CacheDir(t.TempDir())); err != nil {
+		t.Fatal(err)
+	}
 	if render(seq) != render(par) {
 		t.Fatalf("parallel+cached tables differ from sequential:\n%s\n--- want ---\n%s",
 			render(par), render(seq))
@@ -205,9 +213,13 @@ func TestRegisterFabricEndToEnd(t *testing.T) {
 		return NewMatrixSweep([]SystemConfig{Corona(), ideal}, AllWorkloads()[:2], 300, 9)
 	}
 	seq := mk()
-	seq.Run(Workers(1))
+	if err := seq.Run(context.Background(), Workers(1)); err != nil {
+		t.Fatal(err)
+	}
 	par := mk()
-	par.Run(Workers(4))
+	if err := par.Run(context.Background(), Workers(4)); err != nil {
+		t.Fatal(err)
+	}
 	if seq.Figure8().String() != par.Figure8().String() {
 		t.Fatal("custom-fabric matrix not deterministic across worker counts")
 	}
@@ -294,5 +306,47 @@ func TestFullPipeline(t *testing.T) {
 	}
 	if fast.MeanLatencyNs >= slow.MeanLatencyNs {
 		t.Errorf("XBar/OCM latency %.1f >= LMesh/ECM %.1f", fast.MeanLatencyNs, slow.MeanLatencyNs)
+	}
+}
+
+// TestPublicClientJob drives the new context-aware API through the façade:
+// a one-shot Client.Run that matches the deprecated blocking wrapper result
+// for result, typed rejection of bad input, and a streamed Job whose cells
+// cover the matrix.
+func TestPublicClientJob(t *testing.T) {
+	client := NewClient(WithWorkers(4))
+	spec := SyntheticWorkloads()[0]
+	res, err := client.Run(context.Background(), Corona(), spec, 800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy := RunWorkload(Corona(), spec, 800, 3); res != legacy {
+		t.Fatalf("Client.Run differs from the deprecated wrapper:\n%+v\nvs\n%+v", res, legacy)
+	}
+
+	_, err = client.Run(context.Background(), CustomConfig("", "no-such-fabric", OCM, nil), spec, 100, 1)
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("unknown fabric: got %v, want *ConfigError", err)
+	}
+
+	s := NewMatrixSweep([]SystemConfig{Corona(), CustomConfig("", "swmr", OCM, nil)},
+		AllWorkloads()[:2], 300, 9)
+	job, err := client.Submit(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	for cell := range job.Results() {
+		cells++
+		if cell.Result.Cycles == 0 {
+			t.Errorf("cell %s on %s has zero runtime", cell.Workload, cell.Config)
+		}
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if cells != 4 {
+		t.Fatalf("streamed %d cells, want 4", cells)
 	}
 }

@@ -13,8 +13,8 @@
 package main
 
 import (
+	"context"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,16 +33,23 @@ func main() {
 
 	sc, err := corona.LoadScenario(path)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	fmt.Printf("registered fabrics: %s\n", strings.Join(corona.Fabrics(), ", "))
 	fmt.Printf("scenario %s: %d machines x %d workloads, %d requests/cell\n\n",
 		path, len(sc.Configs), len(sc.Workloads), sc.Requests)
 
 	// Per-workload rows: every machine in a row sees identical traffic, so
-	// the speedup column is a fair one-on-one race.
+	// the speedup column is a fair one-on-one race. Rows run through the
+	// context-aware Client API (docs/API.md).
+	client := corona.NewClient()
 	for _, spec := range sc.Workloads {
-		results := corona.CompareConfigs(spec, sc.Requests, sc.Seed, sc.Configs...)
+		results, err := client.Compare(context.Background(), spec, sc.Requests, sc.Seed, sc.Configs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		baseline := results[0]
 		fmt.Printf("%s:\n", spec.Name)
 		fmt.Printf("  %-10s  %10s  %9s  %12s  %10s  %8s\n",

@@ -6,7 +6,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"corona"
 )
@@ -18,8 +20,19 @@ func main() {
 	fmt.Println("Corona quickstart: 64 clusters / 256 cores, uniform random memory traffic")
 	fmt.Printf("simulating %d L2 misses per configuration...\n\n", requests)
 
-	optical := corona.RunWorkload(corona.Corona(), uniform, requests, 1)
-	baseline := corona.RunWorkload(corona.Configurations()[0], uniform, requests, 1)
+	// The Client API: context-aware, error-returning (docs/API.md).
+	ctx := context.Background()
+	client := corona.NewClient()
+	optical, err := client.Run(ctx, corona.Corona(), uniform, requests, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	baseline, err := client.Run(ctx, corona.Configurations()[0], uniform, requests, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	row := func(r corona.Result) {
 		fmt.Printf("%-10s  %8d cycles  %6.2f TB/s  %7.1f ns mean latency  %5.1f W network\n",

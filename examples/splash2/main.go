@@ -7,8 +7,8 @@
 package main
 
 import (
+	"context"
 	"fmt"
-	"log"
 	"os"
 
 	"corona"
@@ -28,7 +28,8 @@ func main() {
 		}
 	}
 	if !found {
-		log.Fatalf("unknown workload %q (try a Table 3 name: Barnes, Cholesky, FFT, ... Water-Sp)", name)
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try a Table 3 name: Barnes, Cholesky, FFT, ... Water-Sp)\n", name)
+		os.Exit(2)
 	}
 
 	const requests = 15000
@@ -37,7 +38,11 @@ func main() {
 
 	// All five configurations simulate concurrently on the sweep pool; the
 	// shared seed gives every machine the identical offered traffic.
-	results := corona.CompareConfigs(spec, requests, 3)
+	results, err := corona.NewClient().Compare(context.Background(), spec, requests, 3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	baseline := results[0]
 	fmt.Printf("%-10s  %10s  %9s  %12s  %8s\n", "config", "cycles", "TB/s", "latency(ns)", "speedup")
 	for _, r := range results {

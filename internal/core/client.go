@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"corona/internal/config"
+	"corona/internal/trace"
+	"corona/internal/traffic"
+)
+
+// Client is the job-oriented entry point to the experiment engine: every
+// call takes a context, returns (result, error) instead of panicking, and
+// sweeps can be submitted as streaming Jobs whose cells arrive as shards
+// finish. A Client carries the execution defaults — worker pool size and
+// cache directory — so a server (or any concurrent caller) configures them
+// once and submits from many goroutines; the zero-value-equivalent
+// NewClient() uses GOMAXPROCS workers and no cache. Clients are immutable
+// after construction and safe for concurrent use. See docs/API.md for the
+// model and the migration table from the legacy blocking calls.
+type Client struct {
+	workers  int
+	cacheDir string
+}
+
+// ClientOption configures a NewClient call.
+type ClientOption func(*Client)
+
+// WithWorkers sets the default worker pool size for the client's runs and
+// jobs: 0 (the default) means GOMAXPROCS, 1 forces the sequential path.
+// Per-submit Workers options override it.
+func WithWorkers(n int) ClientOption { return func(c *Client) { c.workers = n } }
+
+// WithCacheDir sets the client's on-disk result cache for sweeps; empty
+// (the default) disables caching. Per-submit CacheDir options override it.
+func WithCacheDir(dir string) ClientOption { return func(c *Client) { c.cacheDir = dir } }
+
+// NewClient returns a Client with the given defaults.
+func NewClient(opts ...ClientOption) *Client {
+	c := &Client{}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Run simulates `requests` L2 misses of spec on cfg at the given seed —
+// the context-aware, error-returning form of the one-cell experiment.
+// Invalid configurations return a *ConfigError; a canceled ctx returns a
+// *CanceledError.
+func (c *Client) Run(ctx context.Context, cfg config.System, spec traffic.Spec, requests int, seed uint64) (Result, error) {
+	return Run(ctx, cfg, spec, requests, seed)
+}
+
+// Replay replays recorded L2 misses on cfg, mapping trace thread ids onto
+// clusters threadsPerCluster at a time (16 for a full 1024-thread Corona).
+func (c *Client) Replay(ctx context.Context, cfg config.System, recs []trace.Record, threadsPerCluster int) (Result, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	r, err := NewTraceRunner(sys, recs, threadsPerCluster)
+	if err != nil {
+		return Result{}, err
+	}
+	return r.Run(ctx)
+}
+
+// Compare runs spec on several machines concurrently under identical
+// traffic (every machine sees the same seed, hence the same offered stream)
+// and returns results in argument order. With no explicit configs it
+// compares the paper's five machines in Combos order.
+func (c *Client) Compare(ctx context.Context, spec traffic.Spec, requests int, seed uint64, configs ...config.System) ([]Result, error) {
+	if len(configs) == 0 {
+		configs = config.Combos()
+	}
+	cells := make([]Cell, len(configs))
+	for i, cfg := range configs {
+		cells[i] = Cell{Config: cfg, Spec: spec, Requests: requests, Seed: seed}
+	}
+	return RunCells(ctx, cells, c.workers)
+}
+
+// Submit starts s running asynchronously and returns a Job handle
+// immediately. Configuration problems — an unregistered fabric, rejected
+// parameters, a non-positive request count — are reported synchronously as
+// a *ConfigError, so a rejected submission never occupies workers. The
+// sweep belongs to the job until it finishes: read s (or Job.Sweep()) only
+// after Wait returns or Results is closed.
+//
+// Options are layered client defaults first, so a per-submit Workers or
+// CacheDir overrides the client's.
+func (c *Client) Submit(ctx context.Context, s *Sweep, opts ...Option) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s == nil {
+		return nil, &ConfigError{Name: "sweep", Err: fmt.Errorf("core: Submit of a nil sweep")}
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+
+	total := len(s.Configs) * len(s.Workloads)
+	jobCtx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		sweep: s,
+		total: total,
+		// Buffered to the matrix size: the engine's serialized onCell sends
+		// can never block, so a slow (or absent) consumer cannot stall the
+		// worker pool, and a late consumer still sees every cell.
+		results: make(chan CellResult, total),
+		done:    make(chan struct{}),
+		cancel:  cancel,
+	}
+	run := append([]Option{Workers(c.workers), CacheDir(c.cacheDir)}, opts...)
+	run = append(run, onCell(func(cell CellResult) {
+		j.completed.Add(1)
+		j.results <- cell
+	}))
+	go func() {
+		defer cancel()
+		j.err = s.Run(jobCtx, run...)
+		close(j.results)
+		close(j.done)
+	}()
+	return j, nil
+}
+
+// Job is a submitted, asynchronously running sweep. Consume cells as they
+// complete from Results, or block on Wait for the barrier semantics; Cancel
+// stops the job early. A Job's methods are safe for concurrent use.
+type Job struct {
+	sweep     *Sweep
+	total     int
+	results   chan CellResult
+	done      chan struct{}
+	cancel    context.CancelFunc
+	completed atomic.Int64
+
+	// err is written by the runner goroutine before done closes; readers go
+	// through Err/Wait, which synchronize on the close.
+	err error
+}
+
+// Results streams completed cells in completion order. The channel is
+// closed once the job finishes (normally, by error, or by cancellation);
+// after it closes, Err reports how the job ended. The channel is buffered
+// to the full matrix, so consuming late — or not at all — never blocks the
+// simulation.
+func (j *Job) Results() <-chan CellResult { return j.results }
+
+// Done is closed when the job finishes; select on it alongside other work.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes and returns its terminal error: nil on
+// success, a *CanceledError if the job's context was canceled, or the first
+// cell failure. The ctx here only bounds the wait itself — cancelling it
+// abandons the wait (returning ctx.Err()) without cancelling the job.
+func (j *Job) Wait(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+		return j.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Cancel asks the job to stop: in-flight cells halt at their next kernel
+// checkpoint, completed cells keep their results and cache entries, and
+// Wait returns a *CanceledError. Cancel is idempotent and safe after the
+// job has finished.
+func (j *Job) Cancel() { j.cancel() }
+
+// Err returns the job's terminal error once it has finished, or nil while
+// it is still running (use Wait to block for it).
+func (j *Job) Err() error {
+	select {
+	case <-j.done:
+		return j.err
+	default:
+		return nil
+	}
+}
+
+// Progress reports cells completed so far and the matrix size.
+func (j *Job) Progress() (done, total int) {
+	return int(j.completed.Load()), j.total
+}
+
+// Sweep returns the underlying sweep — its Results grid and figure tables
+// are valid once the job has finished (Wait returned nil).
+func (j *Job) Sweep() *Sweep { return j.sweep }

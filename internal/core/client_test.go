@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"corona/internal/config"
+)
+
+// smallSweep is a 5-config x 2-workload matrix, small enough for unit tests
+// but wide enough that a mid-sweep cancellation leaves real work undone.
+func smallSweep(requests int, seed uint64) *Sweep {
+	s := NewSweep(requests, seed)
+	s.Workloads = s.Workloads[:2]
+	return s
+}
+
+func TestClientRunMatchesDirectRun(t *testing.T) {
+	spec := quickSpec(1)
+	want := mustRun(t, config.Corona(), spec, 1500, 11)
+	got, err := NewClient().Run(context.Background(), config.Corona(), spec, 1500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Client.Run differs from core.Run:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+func TestClientTypedConfigErrors(t *testing.T) {
+	bad := config.Custom("", "warp-drive", config.OCM, nil)
+	_, err := NewClient().Run(context.Background(), bad, quickSpec(1), 100, 1)
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("unknown fabric: got %v, want *ConfigError", err)
+	}
+	if ce.Name == "" {
+		t.Error("ConfigError.Name empty, want the config's display name")
+	}
+
+	if _, err := NewClient().Submit(context.Background(), NewMatrixSweep(
+		[]config.System{bad}, AllWorkloads()[:1], 100, 1)); !errors.As(err, &ce) {
+		t.Fatalf("Submit with bad config: got %v, want synchronous *ConfigError", err)
+	}
+	zero := NewSweep(0, 1)
+	if _, err := NewClient().Submit(context.Background(), zero); !errors.As(err, &ce) {
+		t.Fatalf("Submit with zero requests: got %v, want *ConfigError", err)
+	}
+
+	// A canceled run is not a config problem, and must say so in its type.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = NewClient().Run(ctx, config.Corona(), quickSpec(1), 100, 1)
+	var cancelErr *CanceledError
+	if !errors.As(err, &cancelErr) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled ctx: got %v, want *CanceledError wrapping context.Canceled", err)
+	}
+	if errors.As(err, &ce) {
+		t.Fatalf("cancellation misreported as *ConfigError: %v", err)
+	}
+}
+
+func TestJobStreamsEveryCell(t *testing.T) {
+	s := smallSweep(300, 5)
+	total := len(s.Configs) * len(s.Workloads)
+	job, err := NewClient(WithWorkers(4)).Submit(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for cell := range job.Results() {
+		if seen[cell.Index] {
+			t.Errorf("cell %d streamed twice", cell.Index)
+		}
+		seen[cell.Index] = true
+		if cell.Row != cell.Index/len(s.Configs) || cell.Col != cell.Index%len(s.Configs) {
+			t.Errorf("cell %d has row/col %d/%d", cell.Index, cell.Row, cell.Col)
+		}
+		if want := s.Workloads[cell.Row].Name; cell.Workload != want {
+			t.Errorf("cell %d workload = %q, want %q", cell.Index, cell.Workload, want)
+		}
+		if cell.Result.Cycles == 0 {
+			t.Errorf("cell %d has zero runtime", cell.Index)
+		}
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != total {
+		t.Fatalf("streamed %d cells, want %d", len(seen), total)
+	}
+	if done, tot := job.Progress(); done != total || tot != total {
+		t.Fatalf("Progress() = %d/%d, want %d/%d", done, tot, total, total)
+	}
+	// The streamed cells and the barrier-side grid agree: what you consumed
+	// incrementally is exactly what Figure tables render.
+	ref := smallSweep(300, 5)
+	mustSweep(t, ref, Workers(1))
+	if sweepTables(job.Sweep()) != sweepTables(ref) {
+		t.Fatal("streamed job tables differ from a sequential run")
+	}
+}
+
+// TestSweepCancelLeavesCacheConsistent is the acceptance-criterion
+// cancellation test: cancel a sweep mid-flight, then re-run against the
+// same cache — the resumed sweep must complete from cache plus fresh cells
+// and render byte-identical tables to an uninterrupted run.
+func TestSweepCancelLeavesCacheConsistent(t *testing.T) {
+	reference := smallSweep(300, 9)
+	mustSweep(t, reference, Workers(1))
+	want := sweepTables(reference)
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const stopAfter = 3
+	interrupted := smallSweep(300, 9)
+	err := interrupted.Run(ctx, Workers(2), CacheDir(dir), OnProgress(func(p Progress) {
+		if p.Done == stopAfter {
+			cancel()
+		}
+	}))
+	var cancelErr *CanceledError
+	if !errors.As(err, &cancelErr) {
+		t.Fatalf("interrupted sweep returned %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CanceledError does not unwrap to context.Canceled: %v", err)
+	}
+	if cancelErr.Completed < stopAfter || cancelErr.Completed >= cancelErr.Total {
+		t.Fatalf("CanceledError reports %d/%d completed, want in [%d, %d)",
+			cancelErr.Completed, cancelErr.Total, stopAfter, cancelErr.Total)
+	}
+
+	// Resume: completed cells come from cache, the rest simulate fresh, and
+	// the tables match the uninterrupted run byte for byte.
+	var hits int
+	resumed := smallSweep(300, 9)
+	mustSweep(t, resumed, Workers(2), CacheDir(dir), OnProgress(func(p Progress) {
+		if p.Cached {
+			hits++
+		}
+	}))
+	if hits < stopAfter {
+		t.Errorf("resumed sweep reused %d cached cells, want >= %d", hits, stopAfter)
+	}
+	if got := sweepTables(resumed); got != want {
+		t.Fatalf("cancelled-then-resumed tables differ from uninterrupted run:\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestJobCancelStopsStream(t *testing.T) {
+	// A larger matrix so cancellation lands mid-sweep, not after the end.
+	s := NewSweep(4000, 13)
+	job, err := NewClient(WithWorkers(2)).Submit(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := 0
+	for range job.Results() {
+		first++
+		if first == 2 {
+			job.Cancel()
+		}
+	}
+	err = job.Wait(context.Background())
+	var cancelErr *CanceledError
+	if !errors.As(err, &cancelErr) {
+		t.Fatalf("canceled job returned %v, want *CanceledError", err)
+	}
+	if done, total := job.Progress(); done >= total {
+		t.Fatalf("job claims %d/%d cells after mid-sweep cancel", done, total)
+	}
+	if job.Err() == nil {
+		t.Fatal("Err() nil after the job finished canceled")
+	}
+}
+
+func TestJobWaitHonorsWaitContext(t *testing.T) {
+	s := NewSweep(30000, 17) // big enough to still be running at the deadline
+	job, err := NewClient(WithWorkers(2)).Submit(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		job.Cancel()
+		job.Wait(context.Background())
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := job.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait under an expired wait-ctx returned %v, want DeadlineExceeded", err)
+	}
+	if job.Err() != nil {
+		t.Fatalf("abandoning a Wait must not fail the job: Err() = %v", job.Err())
+	}
+}
+
+// TestClientConcurrentSubmissions drives several jobs through one shared
+// client at once — the server's usage pattern — and checks each against a
+// sequential reference. CI runs this under -race, which is the point.
+func TestClientConcurrentSubmissions(t *testing.T) {
+	client := NewClient(WithWorkers(2))
+	const jobs = 4
+	tables := make([]string, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := smallSweep(300, uint64(100+i))
+			job, err := client.Submit(context.Background(), s)
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			cells := 0
+			for range job.Results() {
+				cells++
+			}
+			if err := job.Wait(context.Background()); err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			if want := len(s.Configs) * len(s.Workloads); cells != want {
+				t.Errorf("job %d streamed %d cells, want %d", i, cells, want)
+			}
+			tables[i] = sweepTables(s)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < jobs; i++ {
+		ref := smallSweep(300, uint64(100+i))
+		mustSweep(t, ref, Workers(1))
+		if tables[i] != sweepTables(ref) {
+			t.Errorf("concurrent job %d tables differ from its sequential reference", i)
+		}
+	}
+}

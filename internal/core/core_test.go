@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"corona/internal/config"
@@ -14,9 +15,38 @@ func quickSpec(demand float64) traffic.Spec {
 	return traffic.Spec{Name: "test", Kind: traffic.Uniform, DemandTBs: demand, WriteFrac: 0.3}
 }
 
+// mustRun is the test-side shorthand for the context-aware Run: background
+// context, fatal on error.
+func mustRun(t testing.TB, cfg config.System, spec traffic.Spec, requests int, seed uint64) Result {
+	t.Helper()
+	res, err := Run(context.Background(), cfg, spec, requests, seed)
+	if err != nil {
+		t.Fatalf("Run(%s, %s): %v", cfg.Name(), spec.Name, err)
+	}
+	return res
+}
+
+// mustSweep runs s to completion with a background context, fatal on error.
+func mustSweep(t testing.TB, s *Sweep, opts ...Option) {
+	t.Helper()
+	if err := s.Run(context.Background(), opts...); err != nil {
+		t.Fatalf("Sweep.Run: %v", err)
+	}
+}
+
+// mustSystem builds a system, fatal on error.
+func mustSystem(t testing.TB, cfg config.System) *System {
+	t.Helper()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem(%s): %v", cfg.Name(), err)
+	}
+	return sys
+}
+
 func TestRunCompletesAllConfigs(t *testing.T) {
 	for _, cfg := range config.Combos() {
-		res := Run(cfg, quickSpec(1), 2000, 42)
+		res := mustRun(t, cfg, quickSpec(1), 2000, 42)
 		if res.Requests != 2000 {
 			t.Fatalf("%s: requests = %d", cfg.Name(), res.Requests)
 		}
@@ -33,12 +63,12 @@ func TestRunCompletesAllConfigs(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a := Run(config.Corona(), quickSpec(2), 3000, 7)
-	b := Run(config.Corona(), quickSpec(2), 3000, 7)
+	a := mustRun(t, config.Corona(), quickSpec(2), 3000, 7)
+	b := mustRun(t, config.Corona(), quickSpec(2), 3000, 7)
 	if a.Cycles != b.Cycles || a.MeanLatencyNs != b.MeanLatencyNs || a.NetBytes != b.NetBytes {
 		t.Fatalf("same-seed runs differ: %+v vs %+v", a, b)
 	}
-	c := Run(config.Corona(), quickSpec(2), 3000, 8)
+	c := mustRun(t, config.Corona(), quickSpec(2), 3000, 8)
 	if a.Cycles == c.Cycles && a.NetBytes == c.NetBytes {
 		t.Fatal("different seeds produced identical runs (suspicious)")
 	}
@@ -49,9 +79,9 @@ func TestLowDemandAllConfigsEquivalent(t *testing.T) {
 	// it in roughly the same time (speedup ~1), like Barnes et al. in Fig 8.
 	spec := quickSpec(0.3)
 	spec.LocalFrac = 0.4
-	base := Run(config.Default(config.LMesh, config.ECM), spec, 4000, 3)
+	base := mustRun(t, config.Default(config.LMesh, config.ECM), spec, 4000, 3)
 	for _, cfg := range config.Combos()[1:] {
-		r := Run(cfg, spec, 4000, 3)
+		r := mustRun(t, cfg, spec, 4000, 3)
 		sp := r.Speedup(base)
 		if sp < 0.9 || sp > 1.5 {
 			t.Errorf("%s speedup on low-demand workload = %.2f, want ~1", cfg.Name(), sp)
@@ -68,7 +98,7 @@ func TestHighDemandOrdering(t *testing.T) {
 	spec := quickSpec(5)
 	res := map[string]Result{}
 	for _, cfg := range config.Combos() {
-		res[cfg.Name()] = Run(cfg, spec, 30000, 9)
+		res[cfg.Name()] = mustRun(t, cfg, spec, 30000, 9)
 	}
 	faster := func(a, b string) {
 		t.Helper()
@@ -93,7 +123,7 @@ func TestHighDemandOrdering(t *testing.T) {
 func TestECMBandwidthCeiling(t *testing.T) {
 	// Saturating uniform traffic on an ECM system cannot exceed ~0.96 TB/s
 	// of memory bandwidth (Table 4).
-	r := Run(config.Default(config.HMesh, config.ECM), quickSpec(5), 6000, 5)
+	r := mustRun(t, config.Default(config.HMesh, config.ECM), quickSpec(5), 6000, 5)
 	if r.AchievedTBs > 1.1 {
 		t.Errorf("ECM achieved %v TB/s, above its 0.96 TB/s ceiling", r.AchievedTBs)
 	}
@@ -107,9 +137,9 @@ func TestHotSpotMemoryLimited(t *testing.T) {
 	// win over ECM, but the crossbar adds little on top (the paper's
 	// exceptional case).
 	hot := traffic.Spec{Name: "hot", Kind: traffic.HotSpot, DemandTBs: 5, HotTarget: 0}
-	ecm := Run(config.Default(config.HMesh, config.ECM), hot, 3000, 11)
-	ocm := Run(config.Default(config.HMesh, config.OCM), hot, 3000, 11)
-	xb := Run(config.Corona(), hot, 3000, 11)
+	ecm := mustRun(t, config.Default(config.HMesh, config.ECM), hot, 3000, 11)
+	ocm := mustRun(t, config.Default(config.HMesh, config.OCM), hot, 3000, 11)
+	xb := mustRun(t, config.Corona(), hot, 3000, 11)
 	if sp := ocm.Speedup(ecm); sp < 3 {
 		t.Errorf("OCM over ECM on Hot Spot = %.2f, want large (single-MC bandwidth ratio)", sp)
 	}
@@ -125,8 +155,11 @@ func TestHotSpotMemoryLimited(t *testing.T) {
 func TestLocalTrafficBypassesNetwork(t *testing.T) {
 	spec := quickSpec(1)
 	spec.LocalFrac = 1.0 // everything cluster-local
-	sys := NewSystem(config.Corona())
-	res := NewRunner(sys, spec, 1000, 13).Run()
+	sys := mustSystem(t, config.Corona())
+	res, err := NewRunner(sys, spec, 1000, 13).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.NetMessages != 0 {
 		t.Fatalf("local-only workload sent %d network messages", res.NetMessages)
 	}
@@ -139,8 +172,8 @@ func TestXBarLatencyBeatsMesh(t *testing.T) {
 	// Uncontended, the crossbar's ~2-cycle transit beats the mesh's 5
 	// cycles/hop: mean latency must be lower on XBar/OCM than LMesh/OCM.
 	spec := quickSpec(0.5)
-	xb := Run(config.Corona(), spec, 3000, 17)
-	lm := Run(config.Default(config.LMesh, config.OCM), spec, 3000, 17)
+	xb := mustRun(t, config.Corona(), spec, 3000, 17)
+	lm := mustRun(t, config.Default(config.LMesh, config.OCM), spec, 3000, 17)
 	if xb.MeanLatencyNs >= lm.MeanLatencyNs {
 		t.Errorf("XBar latency %.1f ns >= LMesh %.1f ns", xb.MeanLatencyNs, lm.MeanLatencyNs)
 	}
@@ -148,11 +181,11 @@ func TestXBarLatencyBeatsMesh(t *testing.T) {
 
 func TestPowerAccounting(t *testing.T) {
 	spec := quickSpec(3)
-	xb := Run(config.Corona(), spec, 3000, 19)
+	xb := mustRun(t, config.Corona(), spec, 3000, 19)
 	if xb.NetworkPowerW != 26 {
 		t.Errorf("crossbar power = %v, want constant 26 W", xb.NetworkPowerW)
 	}
-	hm := Run(config.Default(config.HMesh, config.OCM), spec, 3000, 19)
+	hm := mustRun(t, config.Default(config.HMesh, config.OCM), spec, 3000, 19)
 	if hm.NetworkPowerW <= 0 {
 		t.Error("mesh dynamic power not recorded")
 	}
@@ -163,7 +196,7 @@ func TestPowerAccounting(t *testing.T) {
 		t.Error("memory interconnect power not recorded")
 	}
 	// ECM memory power must dwarf OCM's at similar traffic.
-	em := Run(config.Default(config.HMesh, config.ECM), spec, 3000, 19)
+	em := mustRun(t, config.Default(config.HMesh, config.ECM), spec, 3000, 19)
 	if em.MemoryPowerW <= xb.MemoryPowerW {
 		t.Errorf("ECM memory power %v W <= OCM %v W at lower bandwidth", em.MemoryPowerW, xb.MemoryPowerW)
 	}
@@ -173,8 +206,8 @@ func TestMSHRBackPressure(t *testing.T) {
 	// With tiny MSHRs a saturating workload still completes, just slower.
 	cfg := config.Corona()
 	cfg.MSHRs = 2
-	small := Run(cfg, quickSpec(0), 2000, 23)
-	big := Run(config.Corona(), quickSpec(0), 2000, 23)
+	small := mustRun(t, cfg, quickSpec(0), 2000, 23)
+	big := mustRun(t, config.Corona(), quickSpec(0), 2000, 23)
 	if small.Cycles <= big.Cycles {
 		t.Errorf("2-MSHR run (%d cycles) not slower than 64-MSHR run (%d cycles)",
 			small.Cycles, big.Cycles)
@@ -186,7 +219,7 @@ func TestSweepSmall(t *testing.T) {
 	s.Workloads = s.Workloads[:2] // Uniform + Hot Spot only, for speed
 	var runs int
 	var lastDone int
-	s.Run(Workers(1), OnProgress(func(p Progress) {
+	mustSweep(t, s, Workers(1), OnProgress(func(p Progress) {
 		runs++
 		if p.Done != lastDone+1 || p.Total != 10 {
 			t.Errorf("progress %d/%d after %d events", p.Done, p.Total, runs)
@@ -220,7 +253,7 @@ func TestSweepSmall(t *testing.T) {
 
 func TestMergedMissesCountOnce(t *testing.T) {
 	// Force heavy same-line merging: a hot-spot spec with a single address.
-	sys := NewSystem(config.Corona())
+	sys := mustSystem(t, config.Corona())
 	issued := 0
 	for i := 0; i < 10; i++ {
 		if sys.Issue(1, 0x40000, false) {
@@ -258,10 +291,21 @@ func TestTraceReplay(t *testing.T) {
 	}
 	// Per-cluster monotonicity: sort is implied by Time being i/4 and thread
 	// assignment random — bucket order preserves global order, so fine.
-	fast := NewSystem(config.Corona())
-	rf := NewTraceRunner(fast, recs, 16).Run()
-	slow := NewSystem(config.Default(config.LMesh, config.ECM))
-	rs := NewTraceRunner(slow, recs, 16).Run()
+	replay := func(cfg config.System) Result {
+		t.Helper()
+		sys := mustSystem(t, cfg)
+		r, err := NewTraceRunner(sys, recs, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rf := replay(config.Corona())
+	rs := replay(config.Default(config.LMesh, config.ECM))
 	if rf.Requests != 2000 || rs.Requests != 2000 {
 		t.Fatalf("replay requests = %d/%d, want 2000", rf.Requests, rs.Requests)
 	}

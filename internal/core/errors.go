@@ -1,0 +1,46 @@
+package core
+
+import "fmt"
+
+// ConfigError marks invalid configuration or scenario input: an unknown
+// fabric or preset name, a rejected fabric parameter, a malformed scenario
+// file, a trace record that maps outside the machine. It is the typed form
+// of everything NewSystem and the scenario loader used to panic (or
+// log.Fatal) over, so callers branch with
+//
+//	var ce *core.ConfigError
+//	if errors.As(err, &ce) { ... }  // caller bug: fix the input
+//
+// and servers map it to a 4xx status instead of a crash. The message comes
+// from the wrapped error, which already names the offending input.
+type ConfigError struct {
+	// Name identifies the rejected input: a configuration's display name, a
+	// scenario entry ("config 2"), or "trace" for trace-replay input.
+	Name string
+	Err  error
+}
+
+func (e *ConfigError) Error() string { return e.Err.Error() }
+
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// CanceledError reports a run stopped early by context cancellation, with
+// how far it got: completed requests for a single simulation, completed
+// cells for a sweep. It wraps the context's error, so
+// errors.Is(err, context.Canceled) (or context.DeadlineExceeded) holds and
+// callers distinguish "asked to stop" from a genuine failure. Sweep cells
+// that finished before the cancellation keep their results (and their cache
+// entries — see sweepcache.go); only in-flight work is lost.
+type CanceledError struct {
+	Completed int
+	Total     int
+	// Err is the triggering context error: context.Canceled or
+	// context.DeadlineExceeded.
+	Err error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("core: canceled after %d of %d completed: %v", e.Completed, e.Total, e.Err)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Err }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -65,11 +66,30 @@ type Progress struct {
 	Cached      bool // satisfied from the on-disk cache, not simulated
 }
 
+// CellResult is one completed sweep cell as delivered to a streaming
+// consumer (Job.Results, the server's NDJSON endpoint): the cell's position
+// in the matrix, whether it came from the cache, and the full Result. Cells
+// arrive in completion order, not matrix order — Index places them.
+type CellResult struct {
+	// Index is the cell's linear position, Row*len(Configs)+Col.
+	Index int `json:"index"`
+	// Row and Col index Sweep.Workloads and Sweep.Configs respectively.
+	Row int `json:"row"`
+	Col int `json:"col"`
+
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	// Cached marks a cell satisfied from the on-disk cache, not simulated.
+	Cached bool   `json:"cached"`
+	Result Result `json:"result"`
+}
+
 // runConfig collects the sweep-execution options.
 type runConfig struct {
 	workers  int
 	cacheDir string
 	progress func(Progress)
+	onCell   func(CellResult)
 }
 
 // Option configures one Sweep.Run invocation.
@@ -90,14 +110,35 @@ func CacheDir(dir string) Option { return func(rc *runConfig) { rc.cacheDir = di
 // engine serializes invocations, so fn needs no locking of its own.
 func OnProgress(fn func(Progress)) Option { return func(rc *runConfig) { rc.progress = fn } }
 
+// onCell registers the streaming-consumer callback (Job.Results). Like
+// OnProgress it is serialized by the engine; unlike OnProgress it carries
+// the full Result, so a consumer can render cells as shards finish instead
+// of waiting for the matrix barrier.
+func onCell(fn func(CellResult)) Option { return func(rc *runConfig) { rc.onCell = fn } }
+
 // Run executes the matrix on a bounded worker pool (GOMAXPROCS workers by
 // default — pass Workers(1) for the sequential path). Each cell runs at a
 // seed derived by CellSeed, so the filled Results grid is identical for
 // every worker count and completion order; see docs/DETERMINISM.md.
-func (s *Sweep) Run(opts ...Option) {
+//
+// Invalid configurations are rejected up front with a *ConfigError, before
+// any cell simulates. When ctx is canceled mid-sweep, in-flight cells stop
+// at their next kernel checkpoint, the pool drains, and Run returns a
+// *CanceledError recording how many cells completed; finished cells keep
+// their Results entries and their (atomically written) cache entries, so a
+// re-run with the same CacheDir completes the matrix from cache with
+// byte-identical tables. Any other cell failure cancels the remaining cells
+// and is returned as-is.
+func (s *Sweep) Run(ctx context.Context, opts ...Option) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var rc runConfig
 	for _, opt := range opts {
 		opt(&rc)
+	}
+	if err := s.validate(); err != nil {
+		return err
 	}
 	nc := len(s.Configs)
 	total := nc * len(s.Workloads)
@@ -107,28 +148,70 @@ func (s *Sweep) Run(opts ...Option) {
 	}
 
 	cache := openCache(rc.cacheDir)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
-		mu   sync.Mutex // serializes the progress callback and its counter
-		done int
+		mu       sync.Mutex // serializes the callbacks and their counter
+		done     int
+		firstErr error
 	)
-	NewPool(rc.workers).Run(total, func(i int) {
+	NewPool(rc.workers).Run(runCtx, total, func(i int) {
 		w, c := i/nc, i%nc
 		cfg, spec := s.Configs[c], s.Workloads[w]
 		seed := CellSeed(s.Seed, spec.Name)
 		res, cached := cache.load(cfg, spec, s.Requests, seed)
 		if !cached {
-			res = Run(cfg, spec, s.Requests, seed)
+			var err error
+			res, err = Run(runCtx, cfg, spec, s.Requests, seed)
+			if err != nil {
+				mu.Lock()
+				// Cancellations are either the outer ctx (reported below) or
+				// fallout from an earlier failure — never the root cause.
+				if firstErr == nil && !isCanceled(err) {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel()
+				return
+			}
 			cache.store(cfg, spec, s.Requests, seed, res)
 		}
 		s.Results[w][c] = res
+		mu.Lock()
+		done++
 		if rc.progress != nil {
-			mu.Lock()
-			done++
 			rc.progress(Progress{Done: done, Total: total,
 				Workload: spec.Name, Config: cfg.Name(), Cached: cached})
-			mu.Unlock()
 		}
+		if rc.onCell != nil {
+			rc.onCell(CellResult{Index: i, Row: w, Col: c,
+				Workload: spec.Name, Config: cfg.Name(), Cached: cached, Result: res})
+		}
+		mu.Unlock()
 	})
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return &CanceledError{Completed: done, Total: total, Err: err}
+	}
+	return nil
+}
+
+// validate pre-flights the matrix: every configuration must resolve against
+// the registry and the request count must be positive. It is the single
+// rule set behind both Sweep.Run's up-front rejection and Client.Submit's
+// synchronous one — the two can never diverge.
+func (s *Sweep) validate() error {
+	for _, cfg := range s.Configs {
+		if err := cfg.Validate(); err != nil {
+			return &ConfigError{Name: cfg.Name(), Err: err}
+		}
+	}
+	if s.Requests <= 0 {
+		return &ConfigError{Name: "sweep", Err: fmt.Errorf("core: requests per cell must be positive, got %d", s.Requests)}
+	}
+	return nil
 }
 
 // BaselineName returns the display name of the speedup-1 reference column.

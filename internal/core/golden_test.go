@@ -1,11 +1,21 @@
 package core
 
 import (
+	"context"
 	"os"
 	"testing"
 
 	"corona/internal/config"
 )
+
+// goldenTables renders the four figure tables with their CLI headings — the
+// byte-exact artifact testdata/golden_figures.txt captures.
+func goldenTables(s *Sweep) string {
+	return "Figure 8: Normalized Speedup (over LMesh/ECM)\n" + s.Figure8().String() +
+		"\nFigure 9: Achieved Bandwidth (TB/s)\n" + s.Figure9().String() +
+		"\nFigure 10: Average L2 Miss Latency (ns)\n" + s.Figure10().String() +
+		"\nFigure 11: On-chip Network Power (W)\n" + s.Figure11().String()
+}
 
 // TestGoldenFigureTables guards the refactor-safety criterion: the five
 // preset machines must render byte-identical Figure 8-11 tables to the
@@ -13,17 +23,33 @@ import (
 // fabric-registry refactor). Any model change that legitimately moves the
 // numbers must regenerate the golden — and bump the sweep cache schema —
 // in the same commit, with the shift called out in the PR.
+//
+// The sweep runs through the Client/Job submission path — streamed cells
+// and all — so the golden also pins the new API to the old bytes.
 func TestGoldenFigureTables(t *testing.T) {
 	want, err := os.ReadFile("testdata/golden_figures.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := NewSweep(500, 1)
-	s.Run()
-	got := "Figure 8: Normalized Speedup (over LMesh/ECM)\n" + s.Figure8().String() +
-		"\nFigure 9: Achieved Bandwidth (TB/s)\n" + s.Figure9().String() +
-		"\nFigure 10: Average L2 Miss Latency (ns)\n" + s.Figure10().String() +
-		"\nFigure 11: On-chip Network Power (W)\n" + s.Figure11().String()
+	job, err := NewClient().Submit(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := 0
+	for cell := range job.Results() {
+		if cell.Result.Cycles == 0 {
+			t.Errorf("streamed cell %d (%s on %s) has zero runtime", cell.Index, cell.Workload, cell.Config)
+		}
+		streamed++
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 75 {
+		t.Fatalf("streamed %d cells, want 75", streamed)
+	}
+	got := goldenTables(job.Sweep())
 	if got != string(want) {
 		t.Fatalf("preset figure tables diverged from the pre-refactor golden.\n--- got ---\n%s\n--- want ---\n%s",
 			got, want)
@@ -39,20 +65,28 @@ func sixMachineMatrix(requests int) *Sweep {
 
 // TestMatrixSweepSixConfigsDeterministic runs the 6x15 matrix sequentially
 // and at several worker counts and asserts byte-identical tables — the
-// arbitrary-matrix generalization of the 5x15 determinism guarantee.
+// arbitrary-matrix generalization of the 5x15 determinism guarantee. The
+// parallel legs go through Client.Submit, so the streaming path is held to
+// the same guarantee as the blocking one.
 func TestMatrixSweepSixConfigsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("90-cell matrix")
 	}
 	seq := sixMachineMatrix(300)
-	seq.Run(Workers(1))
+	mustSweep(t, seq, Workers(1))
 	if got := len(seq.Results[0]); got != 6 {
 		t.Fatalf("matrix has %d config columns, want 6", got)
 	}
 	want := sweepTables(seq)
 	for _, workers := range []int{0, 3, 8} {
 		par := sixMachineMatrix(300)
-		par.Run(Workers(workers))
+		job, err := NewClient(WithWorkers(workers)).Submit(context.Background(), par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := job.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
 		if sweepTables(par) != want {
 			t.Fatalf("Workers(%d) 6x15 tables differ from sequential", workers)
 		}
@@ -85,7 +119,7 @@ func TestSweepCacheDistinguishesParams(t *testing.T) {
 			map[string]int{"recv_buffer": recvBuffer})
 		s := NewMatrixSweep([]config.System{cfg}, AllWorkloads()[:1], 300, 7)
 		hits := 0
-		s.Run(CacheDir(dir), OnProgress(func(p Progress) {
+		mustSweep(t, s, CacheDir(dir), OnProgress(func(p Progress) {
 			if p.Cached {
 				hits++
 			}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"hash/fnv"
 	"runtime"
 	"sync"
@@ -34,16 +36,25 @@ func NewPool(n int) *Pool {
 func (p *Pool) Workers() int { return p.workers }
 
 // Run executes job(0) .. job(n-1) across the pool and returns when all have
-// finished. Shard k runs jobs k, k+W, k+2W, ... in increasing order. A panic
-// in any job (e.g. a simulated-protocol deadlock) is captured and re-raised
-// on the caller's goroutine once the remaining workers drain.
-func (p *Pool) Run(n int, job func(i int)) {
+// finished or ctx is done. Shard k runs jobs k, k+W, k+2W, ... in increasing
+// order; once ctx is canceled, shards stop claiming new jobs and the pool
+// drains — already-running jobs finish (or observe the cancellation
+// themselves) before Run returns, so no job is ever abandoned mid-flight on
+// a live goroutine. A nil ctx means "never canceled". A panic in any job is
+// captured and re-raised on the caller's goroutine once the workers drain.
+func (p *Pool) Run(ctx context.Context, n int, job func(i int)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	w := p.workers
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			job(i)
 		}
 		return
@@ -63,6 +74,9 @@ func (p *Pool) Run(n int, job func(i int)) {
 				}
 			}()
 			for i := k; i < n; i += w {
+				if ctx.Err() != nil {
+					return
+				}
 				job(i)
 			}
 		}(k)
@@ -105,11 +119,50 @@ type Cell struct {
 // and returns results in cell order. Seeds are taken from the cells as given
 // — callers comparing configurations under identical traffic pass the same
 // seed everywhere; Sweep.Run derives per-cell seeds via CellSeed instead.
-func RunCells(cells []Cell, workers int) []Result {
+// The first cell failure cancels the remaining cells and is returned
+// (*ConfigError for invalid input); a done ctx yields a *CanceledError.
+func RunCells(ctx context.Context, cells []Cell, workers int) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	out := make([]Result, len(cells))
-	NewPool(workers).Run(len(cells), func(i int) {
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	NewPool(workers).Run(runCtx, len(cells), func(i int) {
 		cl := cells[i]
-		out[i] = Run(cl.Config, cl.Spec, cl.Requests, cl.Seed)
+		res, err := Run(runCtx, cl.Config, cl.Spec, cl.Requests, cl.Seed)
+		if err != nil {
+			mu.Lock()
+			// A cancellation here is either the outer ctx (reported below) or
+			// the fallout of an earlier cell's failure — never the root cause.
+			if firstErr == nil && !isCanceled(err) {
+				firstErr = err
+			}
+			mu.Unlock()
+			cancel()
+			return
+		}
+		out[i] = res
+		mu.Lock()
+		done++
+		mu.Unlock()
 	})
-	return out
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &CanceledError{Completed: done, Total: len(cells), Err: err}
+	}
+	return out, nil
+}
+
+// isCanceled reports whether err is a context cancellation or deadline,
+// directly or wrapped (CanceledError unwraps to the context error).
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -16,7 +17,7 @@ func TestPoolRunsEveryJobOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
 		const n = 100
 		counts := make([]int32, n)
-		NewPool(workers).Run(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		NewPool(workers).Run(context.Background(), n, func(i int) { atomic.AddInt32(&counts[i], 1) })
 		for i, c := range counts {
 			if c != 1 {
 				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
@@ -42,7 +43,7 @@ func TestPoolStaticSharding(t *testing.T) {
 	const n, w = 40, 4
 	var mu sync.Mutex
 	perShard := map[int][]int{}
-	NewPool(w).Run(n, func(i int) {
+	NewPool(w).Run(context.Background(), n, func(i int) {
 		mu.Lock()
 		perShard[i%w] = append(perShard[i%w], i)
 		mu.Unlock()
@@ -69,7 +70,7 @@ func TestPoolPropagatesPanic(t *testing.T) {
 			t.Fatalf("recovered %v, want the worker's panic value", r)
 		}
 	}()
-	NewPool(4).Run(16, func(i int) {
+	NewPool(4).Run(context.Background(), 16, func(i int) {
 		if i == 5 {
 			panic("boom: simulated deadlock")
 		}
@@ -102,8 +103,8 @@ func TestSweepSharesSeedAcrossRow(t *testing.T) {
 	spec := AllWorkloads()[0]
 	s := NewSweep(600, 42)
 	s.Workloads = s.Workloads[:1]
-	s.Run(Workers(4))
-	want := Run(config.Corona(), spec, 600, CellSeed(42, spec.Name))
+	mustSweep(t, s, Workers(4))
+	want := mustRun(t, config.Corona(), spec, 600, CellSeed(42, spec.Name))
 	got := s.Results[0][len(s.Configs)-1] // XBar/OCM column
 	if got != want {
 		t.Fatalf("sweep cell differs from direct run at the derived seed:\n%+v\nvs\n%+v", got, want)
@@ -128,10 +129,10 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 		return s
 	}
 	seq := trim()
-	seq.Run(Workers(1))
+	mustSweep(t, seq, Workers(1))
 	for _, workers := range []int{0, 2, 8} {
 		par := trim()
-		par.Run(Workers(workers))
+		mustSweep(t, par, Workers(workers))
 		if got, want := sweepTables(par), sweepTables(seq); got != want {
 			t.Fatalf("Workers(%d) tables differ from sequential:\n%s\n--- want ---\n%s",
 				workers, got, want)
@@ -145,7 +146,7 @@ func TestSweepCache(t *testing.T) {
 		s := NewSweep(300, 7)
 		s.Workloads = s.Workloads[:2]
 		var hits, misses int
-		s.Run(CacheDir(dir), OnProgress(func(p Progress) {
+		mustSweep(t, s, CacheDir(dir), OnProgress(func(p Progress) {
 			if p.Cached {
 				hits++
 			} else {
@@ -176,7 +177,7 @@ func TestSweepCache(t *testing.T) {
 	s3 := NewSweep(300, 8)
 	s3.Workloads = s3.Workloads[:2]
 	var reused int
-	s3.Run(CacheDir(dir), OnProgress(func(p Progress) {
+	mustSweep(t, s3, CacheDir(dir), OnProgress(func(p Progress) {
 		if p.Cached {
 			reused++
 		}
@@ -212,7 +213,7 @@ func TestSweepCacheInvalidatedByParameters(t *testing.T) {
 		for i := range s.Configs {
 			s.Configs[i].MSHRs = mshrs
 		}
-		s.Run(CacheDir(dir), OnProgress(func(p Progress) {
+		mustSweep(t, s, CacheDir(dir), OnProgress(func(p Progress) {
 			if p.Cached {
 				hits++
 			}
@@ -240,8 +241,14 @@ func TestRunCellsOrderAndSeeds(t *testing.T) {
 		{Config: config.Default(config.LMesh, config.ECM), Spec: spec, Requests: 800, Seed: 3},
 		{Config: config.Corona(), Spec: spec, Requests: 800, Seed: 4},
 	}
-	par := RunCells(cells, 3)
-	seqr := RunCells(cells, 1)
+	par, err := RunCells(context.Background(), cells, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqr, err := RunCells(context.Background(), cells, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range cells {
 		if par[i] != seqr[i] {
 			t.Fatalf("cell %d differs between parallel and sequential", i)

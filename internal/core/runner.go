@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"corona/internal/config"
@@ -114,13 +115,20 @@ func (t *traceSource) Next(cluster int) trace.Record {
 // NewTraceRunner builds a runner that replays recs (annotated L2 misses,
 // e.g. from a trace file or the cluster trace engine) on sys. Records are
 // assigned to clusters by thread id with threadsPerCluster threads each, and
-// must be per-cluster time-monotone.
-func NewTraceRunner(sys *System, recs []trace.Record, threadsPerCluster int) *Runner {
+// must be per-cluster time-monotone. A record whose thread maps outside the
+// machine is invalid input and returns a *ConfigError.
+func NewTraceRunner(sys *System, recs []trace.Record, threadsPerCluster int) (*Runner, error) {
+	if threadsPerCluster <= 0 {
+		return nil, &ConfigError{Name: "trace",
+			Err: fmt.Errorf("core: threads-per-cluster must be positive, got %d", threadsPerCluster)}
+	}
 	buckets := make([][]trace.Record, sys.Cfg.Clusters)
 	for _, rec := range recs {
 		c := rec.Cluster(threadsPerCluster)
 		if c < 0 || c >= sys.Cfg.Clusters {
-			panic(fmt.Sprintf("core: trace thread %d maps to cluster %d, out of range", rec.Thread, c))
+			return nil, &ConfigError{Name: "trace",
+				Err: fmt.Errorf("core: trace thread %d maps to cluster %d, out of range [0,%d)",
+					rec.Thread, c, sys.Cfg.Clusters)}
 		}
 		buckets[c] = append(buckets[c], rec)
 	}
@@ -128,7 +136,7 @@ func NewTraceRunner(sys *System, recs []trace.Record, threadsPerCluster int) *Ru
 	for c := range r.perCluster {
 		r.perCluster[c] = len(buckets[c])
 	}
-	return r
+	return r, nil
 }
 
 // issueWake is the runner's typed timed wake-up: the cluster's next record
@@ -166,20 +174,49 @@ func (r *Runner) pump(cluster int) {
 	}
 }
 
-// Run executes the replay to completion and returns the Result. It panics on
-// deadlock (event queue empty before all requests retire), which would
-// indicate a protocol bug.
-func (r *Runner) Run() Result {
+// cancelCheckEvents is how many kernel events the replay loop dispatches
+// between context checks. The typed kernel sustains tens of millions of
+// events per second, so a few thousand events bound cancellation latency to
+// well under a millisecond while keeping the check off the per-event path.
+const cancelCheckEvents = 4096
+
+// Run executes the replay to completion and returns the Result. The replay
+// loop checks ctx between batches of kernel events, so a canceled or expired
+// context stops a long cell promptly with a *CanceledError recording how far
+// it got. A deadlock (event queue empty before all requests retire) is
+// reported as an error rather than a panic: behind a server it is a request
+// failure, not a process failure.
+func (r *Runner) Run(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, &CanceledError{Completed: 0, Total: r.requests, Err: err}
+	}
 	for c := 0; c < r.sys.Cfg.Clusters; c++ {
 		r.pump(c)
 	}
+	done := ctx.Done()
+	sinceCheck := 0
 	for r.sys.Completed() < r.requests {
 		if !r.sys.K.Step() {
-			panic(fmt.Sprintf("core: deadlock with %d of %d requests completed",
-				r.sys.Completed(), r.requests))
+			return Result{}, fmt.Errorf("core: deadlock with %d of %d requests completed",
+				r.sys.Completed(), r.requests)
+		}
+		if done == nil {
+			continue
+		}
+		if sinceCheck++; sinceCheck >= cancelCheckEvents {
+			sinceCheck = 0
+			select {
+			case <-done:
+				return Result{}, &CanceledError{
+					Completed: r.sys.Completed(), Total: r.requests, Err: ctx.Err()}
+			default:
+			}
 		}
 	}
-	return r.collect()
+	return r.collect(), nil
 }
 
 func (r *Runner) collect() Result {
@@ -217,8 +254,12 @@ func (r *Runner) collect() Result {
 }
 
 // Run is the one-call convenience: build a system for cfg, replay spec for
-// `requests` misses with the given seed, and return the Result.
-func Run(cfg config.System, spec traffic.Spec, requests int, seed uint64) Result {
-	sys := NewSystem(cfg)
-	return NewRunner(sys, spec, requests, seed).Run()
+// `requests` misses with the given seed, and return the Result. Invalid
+// configurations surface as *ConfigError, cancellation as *CanceledError.
+func Run(ctx context.Context, cfg config.System, spec traffic.Spec, requests int, seed uint64) (Result, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return NewRunner(sys, spec, requests, seed).Run(ctx)
 }

@@ -123,14 +123,19 @@ func workloadNames() []string {
 // ParseScenario parses and fully validates a JSON scenario: every config
 // resolves against the fabric registry (parameter typos rejected), every
 // workload name must be a Table 3 name, and defaults (all workloads,
-// 20000 requests, seed 42) fill the omitted fields.
+// 20000 requests, seed 42) fill the omitted fields. Every rejection is a
+// *ConfigError — invalid input, never an internal failure — so servers and
+// CLIs can map it to "fix your request" without string matching.
 func ParseScenario(data []byte) (*Scenario, error) {
+	badInput := func(name string, err error) error {
+		return &ConfigError{Name: name, Err: err}
+	}
 	var f scenarioFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+		return nil, badInput("scenario", fmt.Errorf("scenario: %w", err))
 	}
 	if len(f.Configs) == 0 {
-		return nil, fmt.Errorf("scenario: no configs")
+		return nil, badInput("scenario", fmt.Errorf("scenario: no configs"))
 	}
 	sc := &Scenario{Requests: 20000, Seed: 42}
 	if f.Requests > 0 {
@@ -143,13 +148,14 @@ func ParseScenario(data []byte) (*Scenario, error) {
 	for i, e := range f.Configs {
 		cfg, err := e.resolve(i)
 		if err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
+			return nil, badInput(fmt.Sprintf("config %d", i), fmt.Errorf("scenario: %w", err))
 		}
 		if err := cfg.Validate(); err != nil {
-			return nil, fmt.Errorf("scenario: config %d: %w", i, err)
+			return nil, badInput(cfg.Name(), fmt.Errorf("scenario: config %d: %w", i, err))
 		}
 		if seen[cfg.Name()] {
-			return nil, fmt.Errorf("scenario: duplicate config name %q (give one a distinct \"label\")", cfg.Name())
+			return nil, badInput(cfg.Name(),
+				fmt.Errorf("scenario: duplicate config name %q (give one a distinct \"label\")", cfg.Name()))
 		}
 		seen[cfg.Name()] = true
 		sc.Configs = append(sc.Configs, cfg)
@@ -160,7 +166,8 @@ func ParseScenario(data []byte) (*Scenario, error) {
 		for _, name := range f.Workloads {
 			spec, ok := FindWorkload(name)
 			if !ok {
-				return nil, fmt.Errorf("scenario: unknown workload %q (valid: %v)", name, workloadNames())
+				return nil, badInput(name,
+					fmt.Errorf("scenario: unknown workload %q (valid: %v)", name, workloadNames()))
 			}
 			sc.Workloads = append(sc.Workloads, spec)
 		}

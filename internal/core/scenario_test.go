@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -74,6 +75,12 @@ func TestParseScenarioRejections(t *testing.T) {
 		if c.wantErr != "" && !strings.Contains(err.Error(), c.wantErr) {
 			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
 		}
+		// Every scenario rejection is invalid input, and must say so in its
+		// type: the server maps *ConfigError to 400, not 500.
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %q is not a *ConfigError", c.name, err)
+		}
 	}
 }
 
@@ -97,7 +104,7 @@ func TestScenarioSweepRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := sc.Sweep()
-	s.Run(Workers(2))
+	mustSweep(t, s, Workers(2))
 	if s.Results[0][0].Config != "XBar/OCM" || s.Results[0][1].Config != "SWMR/OCM" {
 		t.Fatalf("columns = %s / %s", s.Results[0][0].Config, s.Results[0][1].Config)
 	}

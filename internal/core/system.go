@@ -19,6 +19,13 @@
 // (CellSeed) and an optional on-disk result cache, producing tables that
 // are byte-identical for every worker count; the scheme and its guarantee
 // are documented in docs/DETERMINISM.md.
+//
+// Execution is context-aware end to end: every run takes a context.Context
+// and returns (Result, error) — invalid input is a *ConfigError, a stopped
+// run a *CanceledError — and Client/Job wrap the engine in a submission API
+// whose sweeps stream cells as they finish (Job.Results) instead of
+// blocking on the matrix barrier. That is the seam internal/server exposes
+// over HTTP; docs/API.md documents the model.
 package core
 
 import (
@@ -133,8 +140,15 @@ func (e *retireEvent) OnEvent(_ sim.Time, data uint64) {
 	h.sys.retire(h.sys.txnSlots.Take(data))
 }
 
-// NewSystem builds a machine per cfg.
-func NewSystem(cfg config.System) *System {
+// NewSystem builds a machine per cfg. Invalid input — an unregistered
+// fabric, rejected parameters, non-positive structural sizing, or a fabric
+// whose built network disagrees with the configured cluster count — returns
+// a *ConfigError instead of panicking, so bad configurations are a caller
+// problem (a 4xx behind the server) rather than a crash.
+func NewSystem(cfg config.System) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, &ConfigError{Name: cfg.Name(), Err: err}
+	}
 	k := sim.NewKernel()
 	s := &System{
 		K:       k,
@@ -143,18 +157,15 @@ func NewSystem(cfg config.System) *System {
 		hubs:    make([]*hub, cfg.Clusters),
 		Latency: stats.NewHistogram(1 << 17),
 	}
-	fab, ok := noc.Lookup(cfg.Fabric)
-	if !ok {
-		panic(fmt.Sprintf("core: %s: unknown fabric %q (registered: %v)",
-			cfg.Name(), cfg.Fabric, noc.Names()))
-	}
+	fab, _ := noc.Lookup(cfg.Fabric) // Validate guarantees registration
 	net, err := fab.Build(k, cfg.Params())
 	if err != nil {
-		panic(fmt.Sprintf("core: %s: %v", cfg.Name(), err))
+		return nil, &ConfigError{Name: cfg.Name(), Err: fmt.Errorf("core: %s: %w", cfg.Name(), err)}
 	}
 	s.fabric, s.Net = fab, net
 	if s.Net.Clusters() != cfg.Clusters {
-		panic(fmt.Sprintf("core: network has %d endpoints, config %d", s.Net.Clusters(), cfg.Clusters))
+		return nil, &ConfigError{Name: cfg.Name(), Err: fmt.Errorf(
+			"core: %s: network has %d endpoints, config %d", cfg.Name(), s.Net.Clusters(), cfg.Clusters)}
 	}
 	mcfg := cfg.MemConfig()
 	for c := 0; c < cfg.Clusters; c++ {
@@ -167,7 +178,7 @@ func NewSystem(cfg config.System) *System {
 		s.hubs[c] = h
 		s.Net.SetDeliver(c, h.deliver)
 	}
-	return s
+	return s, nil
 }
 
 // Completed returns the number of retired transactions.

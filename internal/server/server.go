@@ -1,0 +1,477 @@
+// Package server implements the corona-serve HTTP/JSON daemon: a small,
+// job-oriented API over the core Client that lets remote callers submit
+// experiment scenarios, watch their progress, and stream cell results as
+// shards finish — the production-facing seam the context-aware engine was
+// redesigned for.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs              submit a scenario (the corona-sweep -config
+//	                             JSON schema); 202 with the job id, 400 on
+//	                             invalid input, 503 when the queue is full
+//	GET    /v1/jobs              list known jobs
+//	GET    /v1/jobs/{id}         status and progress
+//	GET    /v1/jobs/{id}/results NDJSON stream of completed cells, following
+//	                             the job live until it finishes
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/fabrics           the registered interconnect catalog
+//	GET    /healthz              liveness
+//
+// Jobs are admitted into a bounded queue and executed by a fixed set of
+// runner goroutines; within one job, cells fan out over the client's worker
+// pool, and all jobs share the client's on-disk result cache. Close cancels
+// running jobs (their completed cells stay cached) and drains the runners —
+// graceful shutdown for the daemon.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"corona/internal/core"
+	"corona/internal/noc"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Client executes submitted jobs; nil builds a default client
+	// (GOMAXPROCS workers, no cache).
+	Client *core.Client
+	// QueueDepth bounds jobs admitted but not yet finished being picked up;
+	// submissions beyond it are rejected with 503. Default 16.
+	QueueDepth int
+	// Runners is how many jobs execute concurrently. Default 1: cells within
+	// a job already fan out over the client's worker pool, so more runners
+	// trade per-job latency for cross-job fairness.
+	Runners int
+	// MaxBodyBytes bounds the scenario JSON accepted by POST /v1/jobs.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+	// RetainJobs bounds how many finished jobs (and their accumulated cell
+	// results) stay queryable: when a submission would exceed it, the oldest
+	// terminal jobs are evicted. Live jobs are never evicted. Default 256.
+	RetainJobs int
+}
+
+// Server owns the job registry, the bounded queue, and the runner pool.
+// Create one with New, mount Handler on an http.Server, and Close it on
+// shutdown.
+type Server struct {
+	client  *core.Client
+	maxBody int64
+	retain  int
+
+	ctx    context.Context // canceled by Close: stops every running job
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	queue  chan *job
+
+	mu     sync.Mutex
+	closed bool
+	nextID uint64
+	jobs   map[string]*job
+	order  []string // job ids in submission order, for bounded eviction
+}
+
+// New starts a Server's runner goroutines and returns it.
+func New(opts Options) *Server {
+	if opts.Client == nil {
+		opts.Client = core.NewClient()
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 16
+	}
+	if opts.Runners <= 0 {
+		opts.Runners = 1
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	if opts.RetainJobs <= 0 {
+		opts.RetainJobs = 256
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		client:  opts.Client,
+		maxBody: opts.MaxBodyBytes,
+		retain:  opts.RetainJobs,
+		ctx:     ctx,
+		cancel:  cancel,
+		queue:   make(chan *job, opts.QueueDepth),
+		jobs:    make(map[string]*job),
+	}
+	for i := 0; i < opts.Runners; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Close rejects further submissions, cancels queued and running jobs, and
+// waits for the runners to drain. Completed cells keep their cache entries,
+// so a resubmitted scenario resumes from them.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/fabrics", s.handleFabrics)
+	return mux
+}
+
+// Job lifecycle states.
+const (
+	statusQueued   = "queued"
+	statusRunning  = "running"
+	statusDone     = "done"
+	statusFailed   = "failed"
+	statusCanceled = "canceled"
+)
+
+// job is one submitted scenario and everything observers need: state,
+// accumulated cells (the NDJSON stream replays them to late readers), and a
+// cond that broadcasts every state or cell change.
+type job struct {
+	id        string
+	scenario  *core.Scenario
+	total     int
+	submitted time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	status   string
+	cells    []core.CellResult
+	errMsg   string
+	canceled bool               // cancel requested (possibly before running)
+	cancel   context.CancelFunc // non-nil while running
+}
+
+func newJob(id string, sc *core.Scenario) *job {
+	j := &job{
+		id:        id,
+		scenario:  sc,
+		total:     len(sc.Configs) * len(sc.Workloads),
+		submitted: time.Now().UTC(),
+		status:    statusQueued,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// terminal reports whether the job has reached a final state. Callers hold
+// j.mu.
+func (j *job) terminal() bool {
+	return j.status == statusDone || j.status == statusFailed || j.status == statusCanceled
+}
+
+// jobView is the JSON shape of a job for status responses.
+type jobView struct {
+	ID         string    `json:"id"`
+	Status     string    `json:"status"`
+	Done       int       `json:"done"`
+	Total      int       `json:"total"`
+	Error      string    `json:"error,omitempty"`
+	Submitted  time.Time `json:"submitted"`
+	ResultsURL string    `json:"results_url"`
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{
+		ID:         j.id,
+		Status:     j.status,
+		Done:       len(j.cells),
+		Total:      j.total,
+		Error:      j.errMsg,
+		Submitted:  j.submitted,
+		ResultsURL: "/v1/jobs/" + j.id + "/results",
+	}
+}
+
+// runner executes queued jobs until the queue closes.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.terminal() {
+		// Canceled while queued: handleCancel already finalized the state.
+		j.mu.Unlock()
+		return
+	}
+	if j.canceled || s.ctx.Err() != nil {
+		j.status = statusCanceled
+		j.errMsg = "canceled before start"
+		j.cond.Broadcast()
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	j.cancel = cancel
+	j.status = statusRunning
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	defer cancel()
+
+	cj, err := s.client.Submit(ctx, j.scenario.Sweep())
+	if err == nil {
+		for cell := range cj.Results() {
+			j.mu.Lock()
+			j.cells = append(j.cells, cell)
+			j.cond.Broadcast()
+			j.mu.Unlock()
+		}
+		err = cj.Wait(context.Background())
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	defer j.cond.Broadcast()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.status = statusDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = statusCanceled
+		j.errMsg = err.Error()
+	default:
+		j.status = statusFailed
+		j.errMsg = err.Error()
+	}
+}
+
+// evictLocked drops the oldest terminal jobs once the registry exceeds the
+// retention bound, so a long-lived daemon's memory stays proportional to
+// retain + live jobs rather than to its submission history. Live (queued or
+// running) jobs are never evicted. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	for i := 0; len(s.jobs) > s.retain && i < len(s.order); {
+		j := s.jobs[s.order[i]]
+		j.mu.Lock()
+		dead := j.terminal()
+		j.mu.Unlock()
+		if !dead {
+			i++
+			continue
+		}
+		delete(s.jobs, s.order[i])
+		s.order = append(s.order[:i], s.order[i+1:]...)
+	}
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("scenario body exceeds %d bytes", s.maxBody))
+		} else {
+			writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		}
+		return
+	}
+	sc, err := core.ParseScenario(body)
+	if err != nil {
+		// Every ParseScenario rejection is a *core.ConfigError — the
+		// caller's input, not our failure — hence 400 across the board.
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%06d", s.nextID), sc)
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.evictLocked()
+		s.mu.Unlock()
+	default:
+		s.nextID-- // the id was never visible
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "job queue full; retry later")
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.jobs))
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		views = append(views, j.view())
+	}
+	// Zero-padded sequential ids make lexical order submission order.
+	sort.Slice(views, func(a, b int) bool { return views[a].ID < views[b].ID })
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleResults streams the job's cells as NDJSON — one core.CellResult per
+// line — replaying already-completed cells immediately and then following
+// the live job until it reaches a terminal state or the client goes away.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	// cond.Wait cannot watch a context, so a disconnecting client pokes the
+	// cond awake and the wait loop re-checks ctx.
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	for i := 0; ; i++ {
+		j.mu.Lock()
+		for len(j.cells) <= i && !j.terminal() && ctx.Err() == nil {
+			j.cond.Wait()
+		}
+		if ctx.Err() != nil || len(j.cells) <= i {
+			j.mu.Unlock()
+			return // client gone, or job finished with no further cells
+		}
+		cell := j.cells[i]
+		j.mu.Unlock()
+		if enc.Encode(cell) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	j.mu.Lock()
+	j.canceled = true
+	switch {
+	case j.cancel != nil:
+		// Running: the runner observes the context and finalizes the state.
+		j.cancel()
+	case !j.terminal():
+		// Still queued: finalize immediately so status reflects the cancel
+		// now; the runner skips terminal jobs when it dequeues this one.
+		j.status = statusCanceled
+		j.errMsg = "canceled while queued"
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// fabricView is one row of the interconnect catalog: the registry metadata
+// at the paper's 64-cluster scale.
+type fabricView struct {
+	Name             string  `json:"name"`
+	Display          string  `json:"display"`
+	Description      string  `json:"description,omitempty"`
+	BisectionTBs     float64 `json:"bisection_tbs,omitempty"`
+	MinTransitCycles uint64  `json:"min_transit_cycles,omitempty"`
+}
+
+func (s *Server) handleFabrics(w http.ResponseWriter, _ *http.Request) {
+	views := []fabricView{}
+	for _, name := range noc.Names() {
+		f, ok := noc.Lookup(name)
+		if !ok {
+			continue
+		}
+		v := fabricView{
+			Name:             name,
+			Display:          noc.DisplayName(name),
+			Description:      f.Description,
+			MinTransitCycles: uint64(f.MinTransitCycles),
+		}
+		if f.BisectionBytesPerSec != nil {
+			// The analytic metadata is quoted at the paper's 64-cluster scale,
+			// matching corona-inventory -table fabrics.
+			v.BisectionTBs = f.BisectionBytesPerSec(noc.FabricParams{Clusters: 64}) / 1e12
+		}
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
