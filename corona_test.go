@@ -155,6 +155,8 @@ func TestPublicFabricsAndCustomConfig(t *testing.T) {
 // idealNet is a minimal user-defined fabric: single-cycle delivery, no
 // contention, no back pressure — the "infinite interconnect" upper bound.
 type idealNet struct {
+	noc.MsgPool
+
 	k       *sim.Kernel
 	n       int
 	deliver []noc.DeliverFunc
@@ -176,7 +178,7 @@ func (x *idealNet) Name() string                               { return "ideal" 
 func (x *idealNet) Clusters() int                              { return x.n }
 func (x *idealNet) Stats() noc.Stats                           { return x.stats }
 func (x *idealNet) SetDeliver(cluster int, fn noc.DeliverFunc) { x.deliver[cluster] = fn }
-func (x *idealNet) Consume(int, *noc.Message)                  {}
+func (x *idealNet) Consume(_ int, m *noc.Message)              { x.Release(m) }
 func (x *idealNet) Send(m *noc.Message) bool {
 	x.k.ScheduleEvent(1, (*idealDeliver)(x), x.slots.Put(m))
 	return true

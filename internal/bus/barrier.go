@@ -58,7 +58,9 @@ func (br *Barrier) Arrive(cluster int, release func()) {
 	}
 	br.waiting[cluster] = true
 	br.released[cluster] = release
-	m := &noc.Message{ID: br.gen, Src: cluster, Dst: -1, Size: 1, Kind: noc.KindCoherence}
+	m := br.b.Acquire()
+	m.ID, m.Src, m.Dst = br.gen, cluster, -1
+	m.Size, m.Kind = 1, noc.KindCoherence
 	var try func()
 	try = func() {
 		if !br.b.Broadcast(m) {

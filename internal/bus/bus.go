@@ -38,8 +38,14 @@ type DeliverFunc func(*noc.Message)
 // Bus is the optical broadcast bus. It is not a noc.Network: its delivery
 // semantics are one-to-all, and snooped messages are consumed immediately by
 // the coherence logic rather than buffered with credits (invalidates are
-// small and the snoop path is dedicated).
+// small and the snoop path is dedicated). Messages follow the same pooled
+// lifecycle as the point-to-point networks, with the retirement point moved
+// to where the ownership cycle actually closes: the bus recycles a
+// broadcast after its last snoop fires, so snoop callbacks must not retain
+// the message.
 type Bus struct {
+	noc.MsgPool // broadcast free list (Acquire / last snoop recycles)
+
 	k   *sim.Kernel
 	cfg Config
 	arb *arbiter.TokenRing
@@ -106,18 +112,24 @@ func (e *txDoneEvent) OnEvent(_ sim.Time, data uint64) {
 
 // snoopEvent fires when the second-pass light reaches one cluster's
 // detectors. The slot index and the snooping cluster share the data word;
-// the last cluster in coil order frees the slot.
+// the last cluster in coil order frees the slot and recycles the message
+// (after its own deliver callback has run — the callback may Broadcast,
+// which would otherwise re-acquire the message out from under it).
 type snoopEvent Bus
 
 func (e *snoopEvent) OnEvent(_ sim.Time, data uint64) {
 	b := (*Bus)(e)
 	slot, j := data>>16, int(data&0xffff)
 	m := b.slots.Get(slot)
-	if j == b.cfg.Clusters-1 {
+	last := j == b.cfg.Clusters-1
+	if last {
 		b.slots.Free(slot)
 	}
 	if b.deliver[j] != nil {
 		b.deliver[j](m)
+	}
+	if last {
+		b.Release(m)
 	}
 }
 

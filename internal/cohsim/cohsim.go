@@ -82,9 +82,12 @@ type System struct {
 	busy   map[uint64][]*op
 	nextID uint64
 
-	// opSlots and msgSlots park transactions and messages for typed events.
+	// opSlots and msgSlots park transactions and messages for typed events;
+	// atSlots parks the protocol's arrival continuations so a network
+	// message's Payload is a plain slot handle rather than a boxed func.
 	opSlots  sim.Slots[*op]
 	msgSlots sim.Slots[*noc.Message]
+	atSlots  sim.Slots[func()]
 
 	// Latency histograms by transaction flavour, in ns.
 	ReadLatency  *stats.Histogram
@@ -216,35 +219,40 @@ func (s *System) Access(node int, line uint64, write bool, done func()) {
 }
 
 // sendOrLocal moves a protocol message between nodes: over the crossbar for
-// remote pairs, through the hub for node-local ones. at runs on arrival.
+// remote pairs, through the hub for node-local ones. at runs on arrival,
+// parked in atSlots and referenced by the pooled message's payload handle.
 func (s *System) sendOrLocal(from, to int, kind noc.Kind, size int, at func()) {
 	if from == to {
 		s.K.Schedule(s.cfg.HubCycles, at)
 		return
 	}
 	s.nextID++
-	m := &noc.Message{ID: s.nextID, Src: from, Dst: to, Kind: kind, Size: size, Payload: at}
+	m := s.net.Acquire()
+	m.ID, m.Src, m.Dst = s.nextID, from, to
+	m.Kind, m.Size = kind, size
+	m.Payload = s.atSlots.Put(at)
 	if !s.net.Send(m) {
 		s.K.ScheduleEvent(2, (*netSendEvent)(s), s.msgSlots.Put(m))
 	}
 }
 
-// deliver dispatches a crossbar arrival: the payload carries the
-// continuation.
+// deliver dispatches a crossbar arrival: the payload handle resolves the
+// continuation (before Consume recycles the message).
 func (s *System) deliver(cluster int, m *noc.Message) {
+	at := s.atSlots.Take(m.Payload)
 	s.net.Consume(cluster, m)
-	at := m.Payload.(func())
 	s.K.Schedule(s.cfg.HubCycles, at)
 }
 
-// snoop handles a bus broadcast at one cluster: the payload identifies the
-// transaction; the writer's own snoop (second pass) completes the
-// invalidation phase.
+// snoop handles a bus broadcast at one cluster. The payload word packs the
+// writer's node id (low 16 bits) beside the op's slot (high bits), so the
+// 63 bystander snoops never touch the registry; the writer's own snoop
+// (second pass) takes the op and completes the invalidation phase.
 func (s *System) snoop(cluster int, m *noc.Message) {
-	o := m.Payload.(*op)
-	if cluster != o.node {
+	if cluster != int(m.Payload&0xffff) {
 		return
 	}
+	o := s.opSlots.Take(m.Payload >> 16)
 	// All clusters at or before the writer's second-pass position have now
 	// snooped; clusters after it snoop within the same transit. Model the
 	// grant as complete at the writer's snoop.
@@ -320,10 +328,10 @@ func (s *System) serve(o *op) {
 		return
 	}
 	if s.cfg.UseBus && len(holders) > s.cfg.BroadcastThreshold {
-		inv := &noc.Message{
-			ID: o.id, Src: home, Dst: -1,
-			Kind: noc.KindInvalidate, Size: noc.RequestBytes, Payload: o,
-		}
+		inv := s.bus.Acquire()
+		inv.ID, inv.Src, inv.Dst = o.id, home, -1
+		inv.Kind, inv.Size = noc.KindInvalidate, noc.RequestBytes
+		inv.Payload = s.opSlots.Put(o)<<16 | uint64(o.node)
 		if !s.bus.Broadcast(inv) {
 			s.K.ScheduleEvent(2, (*busSendEvent)(s), s.msgSlots.Put(inv))
 		}

@@ -8,6 +8,7 @@ import (
 	"corona/internal/config"
 	"corona/internal/splash"
 	"corona/internal/stats"
+	"corona/internal/trace"
 	"corona/internal/traffic"
 )
 
@@ -116,10 +117,69 @@ func OnProgress(fn func(Progress)) Option { return func(rc *runConfig) { rc.prog
 // of waiting for the matrix barrier.
 func onCell(fn func(CellResult)) Option { return func(rc *runConfig) { rc.onCell = fn } }
 
+// rowStreams coordinates one sweep row's shared traffic: the workload's
+// miss stream is materialized once (lazily, by the first cell of the row
+// that actually simulates) and replayed read-only by every configuration in
+// the row — the paper's own methodology, which replays one captured miss
+// stream against many interconnects, and the reason CellSeed derives seeds
+// from the workload alone. Rows whose configurations disagree on cluster
+// count (possible in custom scenarios) materialize one stream per distinct
+// count, since the streams genuinely differ. The buffer is dropped once the
+// last cell of the row has finished, bounding a sweep's resident streams to
+// roughly the rows its workers currently occupy.
+type rowStreams struct {
+	mu         sync.Mutex
+	byClusters map[int][][]trace.Record
+	remaining  int
+}
+
+// acquire returns the row's materialized stream for a machine of `clusters`
+// endpoints, generating it on first use. Concurrent cells of the row block
+// here rather than duplicate the generation work.
+func (r *rowStreams) acquire(spec traffic.Spec, clusters, requests int, seed uint64) [][]trace.Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byClusters[clusters]; ok {
+		return s
+	}
+	if r.byClusters == nil {
+		r.byClusters = make(map[int][][]trace.Record)
+	}
+	s := MaterializeStream(spec, clusters, requests, seed)
+	r.byClusters[clusters] = s
+	return s
+}
+
+// release records one finished cell; the last one frees the row's streams.
+func (r *rowStreams) release() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.remaining--; r.remaining == 0 {
+		r.byClusters = nil
+	}
+}
+
+// runCell simulates one sweep cell by replaying the row's shared stream on
+// a freshly built machine.
+func (s *Sweep) runCell(ctx context.Context, cfg config.System, spec traffic.Spec, row *rowStreams, seed uint64) (Result, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	buckets := row.acquire(spec, sys.Cfg.Clusters, s.Requests, seed)
+	r, err := ReplayRunner(sys, spec.Name, buckets)
+	if err != nil {
+		return Result{}, err
+	}
+	return r.Run(ctx)
+}
+
 // Run executes the matrix on a bounded worker pool (GOMAXPROCS workers by
 // default — pass Workers(1) for the sequential path). Each cell runs at a
 // seed derived by CellSeed, so the filled Results grid is identical for
-// every worker count and completion order; see docs/DETERMINISM.md.
+// every worker count and completion order; see docs/DETERMINISM.md. Cells
+// in a row replay one shared, materialized traffic stream (rowStreams)
+// instead of regenerating the workload per configuration.
 //
 // Invalid configurations are rejected up front with a *ConfigError, before
 // any cell simulates. When ctx is canceled mid-sweep, in-flight cells stop
@@ -148,6 +208,10 @@ func (s *Sweep) Run(ctx context.Context, opts ...Option) error {
 	}
 
 	cache := openCache(rc.cacheDir)
+	rows := make([]*rowStreams, len(s.Workloads))
+	for w := range rows {
+		rows[w] = &rowStreams{remaining: nc}
+	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -157,12 +221,13 @@ func (s *Sweep) Run(ctx context.Context, opts ...Option) error {
 	)
 	NewPool(rc.workers).Run(runCtx, total, func(i int) {
 		w, c := i/nc, i%nc
+		defer rows[w].release()
 		cfg, spec := s.Configs[c], s.Workloads[w]
 		seed := CellSeed(s.Seed, spec.Name)
 		res, cached := cache.load(cfg, spec, s.Requests, seed)
 		if !cached {
 			var err error
-			res, err = Run(runCtx, cfg, spec, s.Requests, seed)
+			res, err = s.runCell(runCtx, cfg, spec, rows[w], seed)
 			if err != nil {
 				mu.Lock()
 				// Cancellations are either the outer ctx (reported below) or

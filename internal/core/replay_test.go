@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"corona/internal/config"
+	"corona/internal/traffic"
+)
+
+// TestMaterializedReplayMatchesGenerator is the row-sharing correctness
+// anchor: replaying a materialized stream must produce exactly the Result
+// the lazily-driven generator produces, for every field, on both an optical
+// and an electrical machine. This is what lets Sweep.Run materialize a
+// row's traffic once and share it across the row's configurations without
+// moving a single golden byte.
+func TestMaterializedReplayMatchesGenerator(t *testing.T) {
+	spec := traffic.Spec{Name: "Uniform", Kind: traffic.Uniform, DemandTBs: 5, WriteFrac: 0.3}
+	const requests, seed = 1500, 77
+	for _, cfg := range []config.System{config.Corona(), config.Default(config.HMesh, config.ECM)} {
+		live, err := Run(context.Background(), cfg, spec, requests, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buckets := MaterializeStream(spec, cfg.Clusters, requests, seed)
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ReplayRunner(sys, spec.Name, buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if live != replayed {
+			t.Errorf("%s: replayed result differs from generator-driven:\nlive:   %+v\nreplay: %+v",
+				cfg.Name(), live, replayed)
+		}
+	}
+}
+
+// TestReplayRunnerRejectsMismatchedClusters: a materialized stream only
+// replays on a machine with the same endpoint count.
+func TestReplayRunnerRejectsMismatchedClusters(t *testing.T) {
+	spec := traffic.Spec{Name: "Uniform", Kind: traffic.Uniform, DemandTBs: 5}
+	buckets := MaterializeStream(spec, 16, 160, 1)
+	sys, err := NewSystem(config.Corona()) // 64 clusters
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayRunner(sys, spec.Name, buckets); err == nil {
+		t.Fatal("ReplayRunner accepted a 16-cluster stream on a 64-cluster machine")
+	}
+}
+
+// TestPooledSweepParallelRace is the -race coverage for the two shared-
+// nothing/shared-read structures the pooled data plane introduced: each
+// cell's networks recycle messages through per-network free lists (private
+// to the cell's kernel goroutine), while all cells of a row replay one
+// materialized trace through read-only slice headers. Eight workers over a
+// mesh+crossbar matrix hammer both, and the tables must still match the
+// sequential run byte for byte.
+func TestPooledSweepParallelRace(t *testing.T) {
+	mk := func() *Sweep {
+		return NewMatrixSweep(
+			[]config.System{config.Default(config.HMesh, config.ECM), config.Corona()},
+			AllWorkloads()[:4], 600, 42)
+	}
+	seq := mk()
+	mustSweep(t, seq, Workers(1))
+	want := sweepTables(seq)
+	for i := 0; i < 3; i++ {
+		par := mk()
+		mustSweep(t, par, Workers(8))
+		if sweepTables(par) != want {
+			t.Fatalf("run %d: parallel pooled sweep diverged from sequential", i)
+		}
+	}
+}

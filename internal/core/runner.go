@@ -67,8 +67,9 @@ type Runner struct {
 	name     string
 	requests int
 
-	perCluster []int // remaining issues per cluster
-	pending    []*trace.Record
+	perCluster []int          // remaining issues per cluster
+	pending    []trace.Record // head record per cluster, valid when hasPending
+	hasPending []bool
 	waiting    []bool // a timed wake-up is scheduled
 }
 
@@ -94,7 +95,8 @@ func newRunner(sys *System, src Source, name string, requests int) *Runner {
 		name:       name,
 		requests:   requests,
 		perCluster: make([]int, sys.Cfg.Clusters),
-		pending:    make([]*trace.Record, sys.Cfg.Clusters),
+		pending:    make([]trace.Record, sys.Cfg.Clusters),
+		hasPending: make([]bool, sys.Cfg.Clusters),
 		waiting:    make([]bool, sys.Cfg.Clusters),
 	}
 	sys.SetMSHRFreeHook(func(cluster int) { r.pump(cluster) })
@@ -139,6 +141,56 @@ func NewTraceRunner(sys *System, recs []trace.Record, threadsPerCluster int) (*R
 	return r, nil
 }
 
+// MaterializeStream generates the complete per-cluster miss stream a
+// NewRunner with the same (spec, clusters, requests, seed) would draw
+// lazily, bucketed by cluster — the paper's "capture the miss stream once"
+// step. The generator's per-cluster state is independent (each cluster has
+// its own RNG), so eager per-cluster generation yields exactly the records
+// the simulation-driven interleaving would, and the buckets can be replayed
+// against any number of configurations (ReplayRunner) — the sweep engine
+// materializes each row once and shares it, read-only, across the row's
+// cells and workers.
+func MaterializeStream(spec traffic.Spec, clusters, requests int, seed uint64) [][]trace.Record {
+	g := traffic.NewGenerator(spec, clusters, seed)
+	buckets := make([][]trace.Record, clusters)
+	base, extra := requests/clusters, requests%clusters
+	for c := range buckets {
+		n := base
+		if c < extra {
+			n++
+		}
+		bucket := make([]trace.Record, n)
+		for i := range bucket {
+			bucket[i] = g.Next(c)
+		}
+		buckets[c] = bucket
+	}
+	return buckets
+}
+
+// ReplayRunner builds a runner that replays a materialized per-cluster
+// stream (MaterializeStream) on sys under the workload's display name. The
+// runner takes only fresh slice headers over the shared buckets, never
+// writing through them, so one materialized row is safely replayed by
+// concurrent cells.
+func ReplayRunner(sys *System, name string, buckets [][]trace.Record) (*Runner, error) {
+	if len(buckets) != sys.Cfg.Clusters {
+		return nil, &ConfigError{Name: "trace", Err: fmt.Errorf(
+			"core: materialized stream has %d cluster buckets, system %d", len(buckets), sys.Cfg.Clusters)}
+	}
+	total := 0
+	heads := make([][]trace.Record, len(buckets))
+	for c, b := range buckets {
+		heads[c] = b
+		total += len(b)
+	}
+	r := newRunner(sys, &traceSource{buckets: heads}, name, total)
+	for c := range r.perCluster {
+		r.perCluster[c] = len(heads[c])
+	}
+	return r, nil
+}
+
 // issueWake is the runner's typed timed wake-up: the cluster's next record
 // lies in the future, so issue resumes when the clock reaches it.
 type issueWake Runner
@@ -153,12 +205,11 @@ func (e *issueWake) OnEvent(_ sim.Time, data uint64) {
 // capacity allow.
 func (r *Runner) pump(cluster int) {
 	for r.perCluster[cluster] > 0 {
-		rec := r.pending[cluster]
-		if rec == nil {
-			next := r.src.Next(cluster)
-			rec = &next
-			r.pending[cluster] = rec
+		if !r.hasPending[cluster] {
+			r.pending[cluster] = r.src.Next(cluster)
+			r.hasPending[cluster] = true
 		}
+		rec := &r.pending[cluster]
 		if rec.Time > r.sys.K.Now() {
 			if !r.waiting[cluster] {
 				r.waiting[cluster] = true
@@ -169,7 +220,7 @@ func (r *Runner) pump(cluster int) {
 		if !r.sys.Issue(cluster, rec.Addr, rec.Write) {
 			return // MSHR full; the free hook re-pumps
 		}
-		r.pending[cluster] = nil
+		r.hasPending[cluster] = false
 		r.perCluster[cluster]--
 	}
 }

@@ -73,8 +73,15 @@ type System struct {
 	completed int
 	nextID    uint64
 
-	// txnSlots parks in-flight transactions for the hubs' typed events.
-	txnSlots sim.Slots[*txn]
+	// txnSlots parks in-flight transactions — by value, so a transaction is
+	// never individually heap-allocated — for the hubs' typed events and the
+	// messages that carry them: a transaction occupies exactly one slot from
+	// Issue to retirement, and that slot index is what rides in
+	// noc.Message.Payload. msgSlots parks back-pressured deliveries awaiting
+	// controller space. Together they make the steady-state request
+	// lifecycle allocation-free.
+	txnSlots sim.Slots[txn]
+	msgSlots sim.Slots[*noc.Message]
 
 	// onMSHRFree, when set, is called with the cluster id whenever that
 	// cluster retires a transaction; the runner uses it to resume issue.
@@ -89,12 +96,15 @@ type hub struct {
 	// outq holds messages awaiting network injection, per destination, with
 	// one retry timer per destination (outArmed) — unbounded here because
 	// the MSHR file already bounds the cluster's outstanding work.
-	outq     [][]*noc.Message
+	outq     []sim.Fifo[*noc.Message]
 	outArmed []bool
 }
 
-// Hub kernel events run on the typed fast path via named views of the hub,
-// with the transaction parked in the system's slot registry.
+// Hub kernel events run on the typed fast path via named views of the hub.
+// The data word is the transaction's txnSlots index — the same index the
+// transaction keeps for its whole Issue→retire life — except for the
+// controller-space retry events, whose data is a msgSlots index holding the
+// back-pressured delivery.
 
 // submitLocalEvent pushes a cluster-local miss into the memory controller
 // after the hub traversal.
@@ -102,7 +112,7 @@ type submitLocalEvent hub
 
 func (e *submitLocalEvent) OnEvent(_ sim.Time, data uint64) {
 	h := (*hub)(e)
-	h.submitLocal(h.sys.txnSlots.Take(data))
+	h.submitLocal(data)
 }
 
 // pumpRetryEvent re-drives a back-pressured injection queue.
@@ -120,7 +130,7 @@ type respondEvent hub
 
 func (e *respondEvent) OnEvent(_ sim.Time, data uint64) {
 	h := (*hub)(e)
-	h.respond(h.sys.txnSlots.Take(data))
+	h.respond(data)
 }
 
 // localDoneEvent is the completion for cluster-local transactions: the
@@ -138,6 +148,15 @@ type retireEvent hub
 func (e *retireEvent) OnEvent(_ sim.Time, data uint64) {
 	h := (*hub)(e)
 	h.sys.retire(h.sys.txnSlots.Take(data))
+}
+
+// remoteRetryEvent re-presents a delivered request to a previously full
+// memory controller; its data parks the held message in msgSlots.
+type remoteRetryEvent hub
+
+func (e *remoteRetryEvent) OnEvent(_ sim.Time, data uint64) {
+	h := (*hub)(e)
+	h.submitRemote(h.sys.msgSlots.Take(data))
 }
 
 // NewSystem builds a machine per cfg. Invalid input — an unregistered
@@ -172,7 +191,7 @@ func NewSystem(cfg config.System) (*System, error) {
 		s.MCs[c] = memory.NewController(k, mcfg, c)
 		h := &hub{
 			sys: s, id: c, mshr: cache.NewMSHR(cfg.MSHRs),
-			outq:     make([][]*noc.Message, cfg.Clusters),
+			outq:     make([]sim.Fifo[*noc.Message], cfg.Clusters),
 			outArmed: make([]bool, cfg.Clusters),
 		}
 		s.hubs[c] = h
@@ -208,7 +227,7 @@ func (s *System) Issue(cluster int, addr uint64, write bool) bool {
 		return true // merged onto an outstanding miss
 	}
 	s.nextID++
-	t := &txn{
+	t := txn{
 		id:      s.nextID,
 		cluster: cluster,
 		home:    traffic.HomeOf(addr, s.Cfg.Clusters),
@@ -216,87 +235,103 @@ func (s *System) Issue(cluster int, addr uint64, write bool) bool {
 		write:   write,
 		issue:   s.K.Now(),
 	}
+	slot := s.txnSlots.Put(t)
 	if t.home == cluster {
 		// Local transaction: hub -> MC directly, no network.
-		s.K.ScheduleEvent(sim.Time(s.Cfg.HubLatency), (*submitLocalEvent)(h), s.txnSlots.Put(t))
+		s.K.ScheduleEvent(sim.Time(s.Cfg.HubLatency), (*submitLocalEvent)(h), slot)
 		return true
 	}
-	h.send(reqMsg(t))
+	m := s.Net.Acquire()
+	m.ID, m.Src, m.Dst = t.id, t.cluster, t.home
+	m.Kind, m.Size = noc.KindRequest, noc.RequestBytes
+	if t.write {
+		m.Kind, m.Size = noc.KindWriteback, noc.WritebackBytes
+	}
+	m.Payload = slot
+	h.send(m)
 	return true
 }
 
-// reqMsg builds the outbound request message for a transaction.
-func reqMsg(t *txn) *noc.Message {
-	m := &noc.Message{
-		ID: t.id, Src: t.cluster, Dst: t.home,
-		Kind: noc.KindRequest, Size: noc.RequestBytes,
-		Payload: t,
+// send injects m, queueing it only when the network (or queue order)
+// requires: an uncontended destination goes straight into the fabric, so
+// hubs that never see back pressure never grow an injection buffer.
+func (h *hub) send(m *noc.Message) {
+	q := &h.outq[m.Dst]
+	if q.Empty() {
+		if h.sys.Net.Send(m) {
+			return
+		}
+		q.Push(m)
+		h.armRetry(m.Dst)
+		return
 	}
-	if t.write {
-		m.Kind = noc.KindWriteback
-		m.Size = noc.WritebackBytes
-	}
-	return m
+	q.Push(m)
+	h.pumpOut(m.Dst)
 }
 
-// send queues m for injection and drives the per-destination pump.
-func (h *hub) send(m *noc.Message) {
-	h.outq[m.Dst] = append(h.outq[m.Dst], m)
-	h.pumpOut(m.Dst)
+// armRetry schedules the (single) injection retry timer for dst.
+func (h *hub) armRetry(dst int) {
+	if !h.outArmed[dst] {
+		h.outArmed[dst] = true
+		h.sys.K.ScheduleEvent(2, (*pumpRetryEvent)(h), uint64(dst))
+	}
 }
 
 // pumpOut injects as many queued messages for dst as the network accepts,
 // then arms a single retry timer on back pressure.
 func (h *hub) pumpOut(dst int) {
-	for len(h.outq[dst]) > 0 {
-		if !h.sys.Net.Send(h.outq[dst][0]) {
-			if !h.outArmed[dst] {
-				h.outArmed[dst] = true
-				h.sys.K.ScheduleEvent(2, (*pumpRetryEvent)(h), uint64(dst))
-			}
+	for !h.outq[dst].Empty() {
+		if !h.sys.Net.Send(h.outq[dst].Front()) {
+			h.armRetry(dst)
 			return
 		}
-		h.outq[dst] = h.outq[dst][1:]
+		h.outq[dst].Pop()
 	}
 }
 
 // deliver handles a network arrival at this hub.
 func (h *hub) deliver(m *noc.Message) {
-	t := m.Payload.(*txn)
 	switch m.Kind {
 	case noc.KindRequest, noc.KindWriteback:
-		h.submitRemote(t, m)
+		h.submitRemote(m)
 	case noc.KindResponse:
-		h.sys.Net.Consume(h.id, m)
-		h.sys.retire(t)
+		slot := m.Payload
+		h.sys.Net.Consume(h.id, m) // recycles m; slot outlives it
+		h.sys.retire(h.sys.txnSlots.Take(slot))
 	default:
 		panic(fmt.Sprintf("core: hub %d received unexpected %v", h.id, m.Kind))
 	}
 }
 
 // submitRemote pushes a delivered request into the local memory controller,
-// holding the network receive-buffer credit until the controller accepts —
-// that is how controller congestion back-pressures the interconnect.
-func (h *hub) submitRemote(t *txn, m *noc.Message) {
-	if h.trySubmit(t, (*respondEvent)(h)) {
+// holding the network receive-buffer credit (and the message) until the
+// controller accepts — that is how controller congestion back-pressures the
+// interconnect.
+func (h *hub) submitRemote(m *noc.Message) {
+	if h.trySubmit(m.Payload, (*respondEvent)(h)) {
 		h.sys.Net.Consume(h.id, m)
 		return
 	}
-	h.sys.MCs[h.id].NotifySpace(func() { h.submitRemote(t, m) })
+	h.sys.MCs[h.id].NotifySpaceEvent((*remoteRetryEvent)(h), h.sys.msgSlots.Put(m))
 }
 
-// submitLocal pushes a cluster-local request into the MC, retrying while the
-// queue is full. Its completion crosses only the hub, not the network.
-func (h *hub) submitLocal(t *txn) {
-	if h.trySubmit(t, (*localDoneEvent)(h)) {
+// submitLocal pushes a cluster-local request into the MC, retrying while
+// the queue is full (the retry re-enters through submitLocalEvent; no
+// message or credit is held for local transactions). Its completion
+// crosses only the hub, not the network.
+func (h *hub) submitLocal(slot uint64) {
+	if h.trySubmit(slot, (*localDoneEvent)(h)) {
 		return
 	}
-	h.sys.MCs[h.id].NotifySpace(func() { h.submitLocal(t) })
+	h.sys.MCs[h.id].NotifySpaceEvent((*submitLocalEvent)(h), slot)
 }
 
-func (h *hub) trySubmit(t *txn, done sim.Handler) bool {
-	slot := h.sys.txnSlots.Put(t)
-	req := &memory.Request{
+// trySubmit presents the parked transaction to the local controller. The
+// request is stack-allocated: Submit copies it by value and the completion
+// carries the transaction's slot, so the whole exchange allocates nothing.
+func (h *hub) trySubmit(slot uint64, done sim.Handler) bool {
+	t := h.sys.txnSlots.Get(slot)
+	req := memory.Request{
 		ID:          t.id,
 		Addr:        t.line * noc.LineBytes,
 		Write:       t.write,
@@ -310,30 +345,26 @@ func (h *hub) trySubmit(t *txn, done sim.Handler) bool {
 		req.ReqBytes = noc.RequestBytes
 		req.RspBytes = noc.ResponseBytes
 	}
-	if !h.sys.MCs[h.id].Submit(req) {
-		h.sys.txnSlots.Free(slot)
-		return false
-	}
-	return true
+	return h.sys.MCs[h.id].Submit(&req)
 }
 
 // respond sends the completion back to the requester (full line for reads, a
-// small ack for writebacks).
-func (h *hub) respond(t *txn) {
-	m := &noc.Message{
-		ID: t.id, Src: h.id, Dst: t.cluster,
-		Kind: noc.KindResponse, Size: noc.ResponseBytes,
-		Payload: t,
-	}
+// small ack for writebacks); the transaction keeps its slot for the ride.
+func (h *hub) respond(slot uint64) {
+	t := h.sys.txnSlots.Get(slot)
+	m := h.sys.Net.Acquire()
+	m.ID, m.Src, m.Dst = t.id, h.id, t.cluster
+	m.Kind, m.Size = noc.KindResponse, noc.ResponseBytes
 	if t.write {
 		m.Size = noc.RequestBytes // write ack
 	}
+	m.Payload = slot
 	h.send(m)
 }
 
 // retire completes a transaction at its requesting cluster: MSHR entry (and
 // all merged requesters) release, latency accounting, issue-resume hook.
-func (s *System) retire(t *txn) {
+func (s *System) retire(t txn) {
 	h := s.hubs[t.cluster]
 	merged := h.mshr.Complete(t.line)
 	lat := (s.K.Now() - t.issue).Ns()

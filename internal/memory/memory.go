@@ -104,7 +104,10 @@ func (c Config) AggregateBytesPerSec(controllers int) float64 {
 	return c.PerControllerBytesPerSec() * float64(controllers)
 }
 
-// Request is one memory transaction submitted by the hub.
+// Request is one memory transaction submitted by the hub. Submit copies the
+// request by value into the controller's in-flight registry and never
+// retains the pointer, so callers may pass a stack-allocated Request — the
+// hub's per-transaction submissions heap-allocate nothing.
 type Request struct {
 	ID    uint64
 	Addr  uint64
@@ -173,10 +176,19 @@ func (l *link) reserve(now, at sim.Time, bytes int, bytesPerCycle float64) (star
 	return t, t + dur
 }
 
-// inflightReq is one submitted transaction awaiting its finish event.
+// inflightReq is one submitted transaction awaiting its finish event; the
+// request is held by value so the caller's Request never escapes.
 type inflightReq struct {
-	r     *Request
+	r     Request
 	start sim.Time
+}
+
+// spaceWaiter is one queued NotifySpace registration: either a typed
+// (handler, data) pair or a legacy closure.
+type spaceWaiter struct {
+	h    sim.Handler
+	data uint64
+	fn   func()
 }
 
 // finishEvent is the controller's typed completion handler: it fires at a
@@ -187,10 +199,13 @@ func (e *finishEvent) OnEvent(now sim.Time, data uint64) {
 	c := (*Controller)(e)
 	f := c.inflight.Take(data)
 	c.queued--
-	if len(c.waiters) > 0 {
-		fn := c.waiters[0]
-		c.waiters = c.waiters[1:]
-		c.k.Schedule(0, fn)
+	if !c.waiters.Empty() {
+		w := c.waiters.Pop()
+		if w.h != nil {
+			c.k.ScheduleEvent(0, w.h, w.data)
+		} else {
+			c.k.Schedule(0, w.fn)
+		}
 	}
 	c.Served++
 	c.BytesMoved += uint64(f.r.ReqBytes + f.r.RspBytes)
@@ -216,7 +231,7 @@ type Controller struct {
 	banks []sim.Time // per-bank busy-until
 
 	queued  int
-	waiters []func()
+	waiters sim.Fifo[spaceWaiter]
 
 	// inflight parks (request, issue time) pairs for the typed finish event.
 	inflight sim.Slots[inflightReq]
@@ -239,10 +254,13 @@ func NewController(k *sim.Kernel, cfg Config, id int) *Controller {
 		panic("memory: full-duplex config requires OutBytesPerCycle")
 	}
 	c := &Controller{k: k, cfg: cfg, id: id, banks: make([]sim.Time, cfg.Banks)}
+	// Seed the booking lists with the queue's worth of capacity so the gap
+	// search never grows them mid-run.
+	c.inLink.booked = make([]ival, 0, cfg.QueueDepth)
 	if cfg.HalfDuplex {
 		c.outLink = &c.inLink // shared fiber loop
 	} else {
-		c.outLink = &link{}
+		c.outLink = &link{booked: make([]ival, 0, cfg.QueueDepth)}
 	}
 	return c
 }
@@ -267,7 +285,9 @@ func (c *Controller) chainDelay() sim.Time {
 // is full; the hub must retry (back pressure).
 func (c *Controller) Submit(r *Request) bool {
 	if r.ReqBytes <= 0 || (!r.Write && r.RspBytes <= 0) {
-		panic(fmt.Sprintf("memory: invalid request %+v", r))
+		// Box a copy, not r itself: keeping the pointer out of the panic
+		// argument lets escape analysis stack-allocate callers' Requests.
+		panic(fmt.Sprintf("memory: invalid request %+v", *r))
 	}
 	if c.queued >= c.cfg.QueueDepth {
 		c.QueueFullRefusals++
@@ -289,7 +309,7 @@ func (c *Controller) Submit(r *Request) bool {
 	accessDone := bankStart + c.cfg.AccessCycles
 
 	if r.Write {
-		c.k.AtEvent(accessDone, (*finishEvent)(c), c.inflight.Put(inflightReq{r: r, start: start}))
+		c.k.AtEvent(accessDone, (*finishEvent)(c), c.inflight.Put(inflightReq{r: *r, start: start}))
 		return true
 	}
 	// 3. Read data return on the outbound direction (or the shared fiber).
@@ -298,7 +318,7 @@ func (c *Controller) Submit(r *Request) bool {
 		bpc = c.cfg.InBytesPerCycle
 	}
 	_, dataEnd := c.outLink.reserve(c.k.Now(), accessDone+c.chainDelay(), r.RspBytes, bpc)
-	c.k.AtEvent(dataEnd, (*finishEvent)(c), c.inflight.Put(inflightReq{r: r, start: start}))
+	c.k.AtEvent(dataEnd, (*finishEvent)(c), c.inflight.Put(inflightReq{r: *r, start: start}))
 	return true
 }
 
@@ -310,7 +330,19 @@ func (c *Controller) NotifySpace(fn func()) {
 		c.k.Schedule(0, fn)
 		return
 	}
-	c.waiters = append(c.waiters, fn)
+	c.waiters.Push(spaceWaiter{fn: fn})
+}
+
+// NotifySpaceEvent is NotifySpace on the typed event path: h.OnEvent(now,
+// data) fires as soon as a queue slot is (or becomes) available, with no
+// closure allocated. Typed and closure waiters share one FIFO, so mixed
+// registrations still fire strictly in order.
+func (c *Controller) NotifySpaceEvent(h sim.Handler, data uint64) {
+	if c.queued < c.cfg.QueueDepth {
+		c.k.ScheduleEvent(0, h, data)
+		return
+	}
+	c.waiters.Push(spaceWaiter{h: h, data: data})
 }
 
 // MeanLatencyNs returns the mean transaction latency in nanoseconds.

@@ -97,13 +97,15 @@ type outPort struct {
 	busyUntil sim.Time
 	wakeAt    sim.Time // earliest pending wake event, to dedupe
 	wakeSet   bool
-	q         [numClasses][]*packet
+	q         [numClasses]sim.Fifo[*packet]
 	credits   [numClasses]int
 	rr        int
 }
 
 // Mesh implements noc.Network.
 type Mesh struct {
+	noc.MsgPool // per-network message free list (Acquire / Consume recycles)
+
 	k   *sim.Kernel
 	cfg Config
 	n   int
@@ -114,8 +116,11 @@ type Mesh struct {
 	// InjectQueue.
 	injectCount [][]int
 
-	// slots parks in-flight packets for the typed hop/eject events.
-	slots sim.Slots[*packet]
+	// slots parks in-flight packets for the typed hop/eject events; pktFree
+	// recycles retired packets (keeping their routed-path buffers) so the
+	// steady-state Send→eject cycle allocates neither packets nor paths.
+	slots   sim.Slots[*packet]
+	pktFree []*packet
 
 	stats noc.Stats
 	// LinkBusyCycles accumulates occupancy across all links for utilization.
@@ -179,20 +184,43 @@ func (e *hopEvent) OnEvent(_ sim.Time, data uint64) {
 	p.stage++
 	next := p.path[p.stage]
 	np := &m.ports[next.router][next.d]
-	np.q[p.class] = append(np.q[p.class], p)
+	np.q[p.class].Push(p)
 	m.tryGrant(next)
 }
 
-// ejectEvent delivers a packet's tail into the destination hub.
+// ejectEvent delivers a packet's tail into the destination hub. The packet
+// wrapper retires (and recycles) here; the message itself stays live until
+// the hub's Consume.
 type ejectEvent Mesh
 
 func (e *ejectEvent) OnEvent(_ sim.Time, data uint64) {
 	m := (*Mesh)(e)
 	p := m.slots.Take(data)
+	msg := p.m
+	m.freePacket(p)
 	m.stats.Messages++
-	m.stats.Bytes += uint64(p.m.Size)
-	m.stats.HopTraversals += uint64(p.m.Hops)
-	m.deliver[p.m.Dst](p.m)
+	m.stats.Bytes += uint64(msg.Size)
+	m.stats.HopTraversals += uint64(msg.Hops)
+	m.deliver[msg.Dst](msg)
+}
+
+// newPacket returns a recycled (or fresh) packet wrapper; its path buffer
+// keeps the capacity of earlier routes, and a fresh one is sized for the
+// longest possible DOR path up front so route never grows it.
+func (m *Mesh) newPacket() *packet {
+	if n := len(m.pktFree); n > 0 {
+		p := m.pktFree[n-1]
+		m.pktFree = m.pktFree[:n-1]
+		return p
+	}
+	return &packet{path: make([]portRef, 0, m.cfg.Width+m.cfg.Height-1)}
+}
+
+// freePacket recycles a retired packet wrapper.
+func (m *Mesh) freePacket(p *packet) {
+	p.m = nil
+	p.stage = 0
+	m.pktFree = append(m.pktFree, p)
 }
 
 // New builds a mesh on kernel k.
@@ -248,12 +276,13 @@ func (m *Mesh) SetDeliver(cluster int, fn noc.DeliverFunc) { m.deliver[cluster] 
 func (m *Mesh) xy(r int) (int, int) { return r % m.cfg.Width, r / m.cfg.Width }
 func (m *Mesh) id(x, y int) int     { return y*m.cfg.Width + x }
 
-// route computes the dimension-order (X then Y) path: one output port per
-// hop plus the final ejection port.
-func (m *Mesh) route(src, dst int) []portRef {
+// route computes the dimension-order (X then Y) path — one output port per
+// hop plus the final ejection port — into the caller's buffer, reusing its
+// capacity.
+func (m *Mesh) route(src, dst int, path []portRef) []portRef {
 	x, y := m.xy(src)
 	dx, dy := m.xy(dst)
-	path := make([]portRef, 0, abs(dx-x)+abs(dy-y)+1)
+	path = path[:0]
 	for x != dx {
 		if x < dx {
 			path = append(path, portRef{m.id(x, y), dirEast})
@@ -305,20 +334,25 @@ func (m *Mesh) Send(msg *noc.Message) bool {
 	}
 	msg.Inject = m.k.Now()
 	msg.Hops = m.Hops(msg.Src, msg.Dst)
-	p := &packet{m: msg, path: m.route(msg.Src, msg.Dst), class: cl}
+	p := m.newPacket()
+	p.m = msg
+	p.class = cl
+	p.path = m.route(msg.Src, msg.Dst, p.path)
 	m.injectCount[msg.Src][cl]++
 	first := p.path[0]
 	port := &m.ports[first.router][first.d]
-	port.q[cl] = append(port.q[cl], p)
+	port.q[cl].Push(p)
 	m.tryGrant(first)
 	return true
 }
 
 // Consume implements noc.Network: the hub drained msg, freeing its slot in
-// the ejection buffer of msg's virtual network.
+// the ejection buffer of msg's virtual network and recycling the message.
 func (m *Mesh) Consume(cluster int, msg *noc.Message) {
+	class := classOf(msg.Kind)
+	m.Release(msg)
 	port := &m.ports[cluster][dirEject]
-	port.credits[classOf(msg.Kind)]++
+	port.credits[class]++
 	m.tryGrant(portRef{cluster, dirEject})
 }
 
@@ -339,13 +373,11 @@ func (m *Mesh) tryGrant(ref portRef) {
 	// Round-robin over classes, skipping empty queues and exhausted credits.
 	for i := 0; i < numClasses; i++ {
 		cl := (port.rr + i) % numClasses
-		if len(port.q[cl]) == 0 || port.credits[cl] == 0 {
+		if port.q[cl].Empty() || port.credits[cl] == 0 {
 			continue
 		}
 		port.rr = (cl + 1) % numClasses
-		p := port.q[cl][0]
-		port.q[cl] = port.q[cl][1:]
-		m.grant(ref, port, p)
+		m.grant(ref, port, port.q[cl].Pop())
 		return
 	}
 }

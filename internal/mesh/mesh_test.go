@@ -46,7 +46,7 @@ func TestBisectionBandwidth(t *testing.T) {
 func TestDimensionOrderRouting(t *testing.T) {
 	h := newHarness(t, HMeshConfig())
 	// From (1,1)=9 to (3,2)=19: X first (E,E), then Y (S), then eject.
-	path := h.m.route(9, 19)
+	path := h.m.route(9, 19, nil)
 	want := []portRef{{9, dirEast}, {10, dirEast}, {11, dirSouth}, {19, dirEject}}
 	if len(path) != len(want) {
 		t.Fatalf("path len = %d, want %d", len(path), len(want))
@@ -67,7 +67,7 @@ func TestRoutePropertyXY(t *testing.T) {
 		if src == dst {
 			return true
 		}
-		path := h.m.route(src, dst)
+		path := h.m.route(src, dst, nil)
 		if len(path) != h.m.Hops(src, dst)+1 {
 			return false
 		}
@@ -336,4 +336,29 @@ func TestUtilization(t *testing.T) {
 	if h.m.Utilization(0) != 0 {
 		t.Error("zero-elapsed utilization should be 0")
 	}
+}
+
+// TestDoubleConsumePanics pins the pool misuse guard on the mesh: the
+// second release of one delivered message must panic (see the xbar twin).
+func TestDoubleConsumePanics(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, HMeshConfig())
+	var delivered *noc.Message
+	for c := 0; c < 64; c++ {
+		m.SetDeliver(c, func(msg *noc.Message) { delivered = msg })
+	}
+	if !m.Send(msg(1, 0, 63, 64, noc.KindRequest)) {
+		t.Fatal("send refused")
+	}
+	k.Run()
+	if delivered == nil {
+		t.Fatal("message never delivered")
+	}
+	m.Consume(63, delivered)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Consume did not panic")
+		}
+	}()
+	m.Consume(63, delivered)
 }

@@ -55,13 +55,19 @@ func (c Config) PropagationCycles() sim.Time {
 // BytesPerSec returns the link's one-direction bandwidth.
 func (c Config) BytesPerSec() float64 { return float64(c.BytesPerCycle) * 5e9 }
 
-// Packet is one inter-stack transfer.
+// Packet is one inter-stack transfer. Packets are pooled per link: obtain
+// one with Acquire, fill it, Send it; the link recycles it after the remote
+// delivery callback returns, so receivers must not retain packets.
 type Packet struct {
 	ID    uint64
 	Size  int
 	Stack int // destination stack id, for the receiver's bookkeeping
-	// Payload carries the embedded message (e.g. a remote memory request).
-	Payload interface{}
+	// Payload is a uint64 handle into the sending stack's payload registry
+	// (sim.Slots) for packets that embed a reference (e.g. a remote memory
+	// request); plain transfers leave it zero.
+	Payload uint64
+
+	pooled bool
 }
 
 // Link is one unidirectional inter-stack fiber; build two for a pair.
@@ -69,17 +75,39 @@ type Link struct {
 	k   *sim.Kernel
 	cfg Config
 
-	queue     []*Packet
+	queue     sim.Fifo[*Packet]
 	busyUntil sim.Time
 	active    bool
 	deliver   func(*Packet)
 
-	// slots parks in-flight packets for the typed arrival event.
+	// slots parks in-flight packets for the typed arrival event; free is
+	// the recycle list Acquire draws from.
 	slots sim.Slots[*Packet]
+	free  []*Packet
 
 	// Sent and Bytes count completed transfers.
 	Sent  uint64
 	Bytes uint64
+}
+
+// Acquire returns a zeroed packet from the link's free list.
+func (l *Link) Acquire() *Packet {
+	if n := len(l.free); n > 0 {
+		p := l.free[n-1]
+		l.free = l.free[:n-1]
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// release recycles a delivered packet, panicking on a double release.
+func (l *Link) release(p *Packet) {
+	if p.pooled {
+		panic(fmt.Sprintf("netif: packet %d released twice", p.ID))
+	}
+	p.pooled = true
+	l.free = append(l.free, p)
 }
 
 // The link's kernel events run on the typed fast path via named views of the
@@ -90,7 +118,8 @@ type pumpEvent Link
 
 func (e *pumpEvent) OnEvent(_ sim.Time, _ uint64) { (*Link)(e).pump() }
 
-// arriveEvent fires when a packet's tail reaches the remote detectors.
+// arriveEvent fires when a packet's tail reaches the remote detectors. The
+// packet recycles once the delivery callback returns.
 type arriveEvent Link
 
 func (e *arriveEvent) OnEvent(_ sim.Time, data uint64) {
@@ -99,6 +128,7 @@ func (e *arriveEvent) OnEvent(_ sim.Time, data uint64) {
 	l.Sent++
 	l.Bytes += uint64(p.Size)
 	l.deliver(p)
+	l.release(p)
 }
 
 // NewLink builds a link on kernel k delivering into the remote stack's
@@ -111,7 +141,7 @@ func NewLink(k *sim.Kernel, cfg Config, deliver func(*Packet)) *Link {
 }
 
 // QueueLen returns the number of queued (unsent) packets.
-func (l *Link) QueueLen() int { return len(l.queue) }
+func (l *Link) QueueLen() int { return l.queue.Len() }
 
 // Send queues p for transmission; it returns false when the outbound queue
 // is full.
@@ -119,10 +149,10 @@ func (l *Link) Send(p *Packet) bool {
 	if p == nil || p.Size <= 0 {
 		panic("netif: invalid packet")
 	}
-	if len(l.queue) >= l.cfg.QueueDepth {
+	if l.queue.Len() >= l.cfg.QueueDepth {
 		return false
 	}
-	l.queue = append(l.queue, p)
+	l.queue.Push(p)
 	if !l.active {
 		l.active = true
 		l.k.ScheduleEvent(0, (*pumpEvent)(l), 0)
@@ -132,12 +162,11 @@ func (l *Link) Send(p *Packet) bool {
 
 // pump serializes queued packets onto the fiber back to back.
 func (l *Link) pump() {
-	if len(l.queue) == 0 {
+	if l.queue.Empty() {
 		l.active = false
 		return
 	}
-	p := l.queue[0]
-	l.queue = l.queue[1:]
+	p := l.queue.Pop()
 	tx := sim.Time((p.Size + l.cfg.BytesPerCycle - 1) / l.cfg.BytesPerCycle)
 	prop := l.cfg.PropagationCycles()
 	l.k.ScheduleEvent(tx+prop, (*arriveEvent)(l), l.slots.Put(p))

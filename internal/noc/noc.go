@@ -8,6 +8,13 @@
 // Send, which may refuse a message when the per-source injection queue is
 // full (back pressure); delivery is signalled through a per-destination
 // callback installed with SetDeliver. All timing is in 5 GHz cycles.
+//
+// Messages are pooled per network (MsgPool): a producer obtains one with
+// Acquire, the network owns it from a successful Send until delivery, the
+// consumer owns it until Consume — which, besides returning the receive
+// buffer credit, recycles the message onto the free list. The lifecycle and
+// its rules are documented in docs/PERFORMANCE.md ("Message lifecycle and
+// pooling rules"); in steady state the Send→Consume path allocates nothing.
 package noc
 
 import (
@@ -60,8 +67,9 @@ const (
 	WritebackBytes = 80
 )
 
-// Message is one network packet. Messages are allocated by the sender and
-// owned by the network until delivery.
+// Message is one network packet. Messages are obtained from a network's
+// free list (Acquire), owned by the sender until Send accepts, by the
+// network until delivery, and by the consumer until Consume recycles them.
 type Message struct {
 	ID   uint64
 	Src  int // source cluster
@@ -79,10 +87,57 @@ type Message struct {
 	// it zero and account power separately.
 	Hops int
 
-	// Payload carries protocol state for coherence messages; plain memory
-	// traffic leaves it nil.
-	Payload interface{}
+	// Payload is a uint64 handle into the owning simulation's payload
+	// registry (sim.Slots) for messages that carry protocol state — an
+	// in-flight transaction, a coherence continuation. Plain traffic leaves
+	// it zero. Keeping the slot index here instead of an interface{} value
+	// means a pooled message never boxes its payload: the referent stays
+	// parked in one typed registry for its whole life.
+	Payload uint64
+
+	// pooled marks a message currently sitting on a free list; Release uses
+	// it to detect double-recycle misuse (e.g. a double Consume).
+	pooled bool
 }
+
+// MsgPool is a per-network message free list. Network implementations embed
+// it to satisfy the Acquire half of the ownership cycle and call Release
+// from Consume, the mandatory retirement point; after the pool has grown to
+// the network's peak in-flight population, the Send→Consume path performs
+// no allocation. A MsgPool belongs to one network on one kernel goroutine;
+// it is not synchronized.
+type MsgPool struct {
+	free []*Message
+}
+
+// Acquire returns a zeroed message, reusing a recycled one when available.
+func (p *MsgPool) Acquire() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		*m = Message{}
+		return m
+	}
+	return &Message{}
+}
+
+// Release recycles m onto the free list. Releasing a message that is
+// already pooled is a lifecycle violation — almost always a double Consume
+// — and panics so the misuse is caught at its source rather than surfacing
+// later as two in-flight transactions sharing one message.
+func (p *MsgPool) Release(m *Message) {
+	if m == nil {
+		panic("noc: Release of nil message")
+	}
+	if m.pooled {
+		panic(fmt.Sprintf("noc: message %d released twice (double Consume?)", m.ID))
+	}
+	m.pooled = true
+	p.free = append(p.free, m)
+}
+
+// FreeLen returns the number of messages currently on the free list.
+func (p *MsgPool) FreeLen() int { return len(p.free) }
 
 // DeliverFunc receives a message at its destination cluster.
 type DeliverFunc func(*Message)
@@ -94,6 +149,10 @@ type Network interface {
 	Name() string
 	// Clusters returns the number of endpoints.
 	Clusters() int
+	// Acquire returns a zeroed message from the network's free list for the
+	// caller to fill and Send. Implementations embed MsgPool, which provides
+	// it (and whose Release their Consume calls to close the cycle).
+	Acquire() *Message
 	// Send injects msg. It returns false when the source's injection queue is
 	// full; the caller must retry later (back pressure).
 	Send(msg *Message) bool
@@ -104,7 +163,8 @@ type Network interface {
 	// matched by exactly one Consume, or the network wedges — which is
 	// precisely the back-pressure the paper models with finite buffers. The
 	// message identifies which buffer pool (virtual network) the freed slot
-	// belongs to.
+	// belongs to, and Consume is also the recycle point: the network returns
+	// m to its free list, so the consumer must not touch it afterwards.
 	Consume(cluster int, m *Message)
 	// Stats returns the network's delivery counters.
 	Stats() Stats

@@ -47,3 +47,35 @@ func TestMessageSizes(t *testing.T) {
 		t.Fatal("writeback smaller than a cache line")
 	}
 }
+
+func TestMsgPoolRecycles(t *testing.T) {
+	var p MsgPool
+	m := p.Acquire()
+	m.ID, m.Src, m.Dst, m.Size, m.Payload = 7, 1, 2, 64, 99
+	p.Release(m)
+	if p.FreeLen() != 1 {
+		t.Fatalf("free list holds %d, want 1", p.FreeLen())
+	}
+	m2 := p.Acquire()
+	if m2 != m {
+		t.Error("Acquire did not reuse the released message")
+	}
+	if m2.ID != 0 || m2.Src != 0 || m2.Dst != 0 || m2.Size != 0 || m2.Payload != 0 {
+		t.Errorf("recycled message not zeroed: %+v", m2)
+	}
+	if p.FreeLen() != 0 {
+		t.Fatalf("free list holds %d after reuse, want 0", p.FreeLen())
+	}
+}
+
+func TestMsgPoolDetectsDoubleRelease(t *testing.T) {
+	var p MsgPool
+	m := p.Acquire()
+	p.Release(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	p.Release(m)
+}

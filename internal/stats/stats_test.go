@@ -193,3 +193,68 @@ func TestFormatTBs(t *testing.T) {
 		t.Errorf("FormatTBs = %q, want 2.50", got)
 	}
 }
+
+func TestHistogramOverflowTail(t *testing.T) {
+	h := NewHistogram(4)
+	// Push the raw reservoir past its cap so Percentile uses buckets, with
+	// values beyond the last dense bucket landing in the overflow tail.
+	huge := math.Exp2(80)
+	for i := 0; i < 8; i++ {
+		h.Observe(huge)
+	}
+	if h.overflow != 8 {
+		t.Fatalf("overflow tail = %d, want 8", h.overflow)
+	}
+	if got := h.Percentile(99); got != huge {
+		t.Errorf("overflow-tail percentile = %v, want the observed max %v", got, huge)
+	}
+	// Mixed stream: dense buckets still resolve percentiles below the tail.
+	h2 := NewHistogram(2)
+	for i := 0; i < 99; i++ {
+		h2.Observe(100)
+	}
+	h2.Observe(huge)
+	p50 := h2.Percentile(50)
+	if p50 < 63 || p50 > 255 {
+		t.Errorf("P50 = %v, want within the 100-value bucket's range", p50)
+	}
+}
+
+// mapHistogram reimplements the pre-dense bucket layout (map[int]uint64,
+// one hash per Observe) as the before/after baseline for
+// BenchmarkHistogramObserve.
+type mapHistogram struct {
+	Sample
+	buckets map[int]uint64
+}
+
+func (h *mapHistogram) Observe(v float64) {
+	h.Sample.Observe(v)
+	h.buckets[bucketOf(v)]++
+}
+
+// BenchmarkHistogramObserve measures the hot Observe path (every retired
+// request of every sweep cell funnels through it) on the dense-slice layout
+// versus the map layout it replaced.
+func BenchmarkHistogramObserve(b *testing.B) {
+	values := make([]float64, 1024)
+	for i := range values {
+		values[i] = float64((i*2654435761)%100000) / 7
+	}
+	b.Run("dense", func(b *testing.B) {
+		h := NewHistogram(1) // exercise the bucket path, not the reservoir
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(values[i&1023])
+		}
+	})
+	b.Run("map-baseline", func(b *testing.B) {
+		h := &mapHistogram{buckets: make(map[int]uint64)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(values[i&1023])
+		}
+	})
+}

@@ -66,12 +66,14 @@ func DefaultConfig() Config {
 
 // srcQueue is one source's injection FIFO over its private channel.
 type srcQueue struct {
-	msgs   []*noc.Message
+	msgs   sim.Fifo[*noc.Message]
 	active bool // head message is progressing through credit/receiver/transmit
 }
 
 // Crossbar implements noc.Network.
 type Crossbar struct {
+	noc.MsgPool // per-network message free list (Acquire / Consume recycles)
+
 	k   *sim.Kernel
 	cfg Config
 	// arb arbitrates destination receivers; nil unless TunedReceivers.
@@ -80,8 +82,8 @@ type Crossbar struct {
 	queues  []srcQueue // per source
 	deliver []noc.DeliverFunc
 
-	credits    []int   // per destination receive-buffer pool
-	creditWait [][]int // per destination: sources waiting, FIFO
+	credits    []int           // per destination receive-buffer pool
+	creditWait []sim.Fifo[int] // per destination: sources waiting, FIFO
 
 	// slots parks in-flight messages for the typed delivery event.
 	slots sim.Slots[*noc.Message]
@@ -114,7 +116,7 @@ type releaseEvent Crossbar
 func (e *releaseEvent) OnEvent(_ sim.Time, data uint64) {
 	x := (*Crossbar)(e)
 	src := int(data)
-	x.queues[src].msgs = x.queues[src].msgs[1:]
+	x.queues[src].msgs.Pop()
 	x.advance(src)
 }
 
@@ -160,7 +162,7 @@ func New(k *sim.Kernel, cfg Config) *Crossbar {
 		queues:     make([]srcQueue, cfg.Clusters),
 		deliver:    make([]noc.DeliverFunc, cfg.Clusters),
 		credits:    make([]int, cfg.Clusters),
-		creditWait: make([][]int, cfg.Clusters),
+		creditWait: make([]sim.Fifo[int], cfg.Clusters),
 	}
 	if cfg.TunedReceivers {
 		x.arb = arbiter.New(k, cfg.Clusters, cfg.Clusters, cfg.PropSpeed)
@@ -195,11 +197,11 @@ func (x *Crossbar) Send(m *noc.Message) bool {
 		panic(fmt.Sprintf("swmr: message %d is cluster-local (src == dst == %d)", m.ID, m.Src))
 	}
 	q := &x.queues[m.Src]
-	if len(q.msgs) >= x.cfg.InjectQueue {
+	if q.msgs.Len() >= x.cfg.InjectQueue {
 		return false
 	}
 	m.Inject = x.k.Now()
-	q.msgs = append(q.msgs, m)
+	q.msgs.Push(m)
 	if !q.active {
 		q.active = true
 		x.advance(m.Src)
@@ -208,15 +210,14 @@ func (x *Crossbar) Send(m *noc.Message) bool {
 }
 
 // Consume implements noc.Network: the hub drained one message from
-// cluster's receive buffer, freeing a credit. Like the MWSR crossbar, each
-// cluster has a single buffer pool, so the message is not inspected.
-func (x *Crossbar) Consume(cluster int, _ *noc.Message) {
-	wait := x.creditWait[cluster]
-	if len(wait) > 0 {
-		src := wait[0]
-		x.creditWait[cluster] = wait[1:]
+// cluster's receive buffer, freeing a credit and recycling the message.
+// Like the MWSR crossbar, each cluster has a single buffer pool, so only
+// the freed credit matters.
+func (x *Crossbar) Consume(cluster int, m *noc.Message) {
+	x.Release(m)
+	if wait := &x.creditWait[cluster]; !wait.Empty() {
 		// Hand the credit straight to the waiting writer.
-		x.k.ScheduleEvent(0, (*creditEvent)(x), pack2(src, cluster))
+		x.k.ScheduleEvent(0, (*creditEvent)(x), pack2(wait.Pop(), cluster))
 		return
 	}
 	x.credits[cluster]++
@@ -229,18 +230,18 @@ func (x *Crossbar) Consume(cluster int, _ *noc.Message) {
 // receiver-arbitration) pipeline.
 func (x *Crossbar) advance(src int) {
 	q := &x.queues[src]
-	if len(q.msgs) == 0 {
+	if q.msgs.Empty() {
 		q.active = false
 		return
 	}
-	dst := q.msgs[0].Dst
+	dst := q.msgs.Front().Dst
 	// Step 1: acquire a receive-buffer credit at dst. The head waits here on
 	// back pressure — and everything queued behind it waits too (HOL).
 	if x.credits[dst] > 0 {
 		x.credits[dst]--
 		x.haveCredit(src)
 	} else {
-		x.creditWait[dst] = append(x.creditWait[dst], src)
+		x.creditWait[dst].Push(src)
 	}
 }
 
@@ -248,7 +249,7 @@ func (x *Crossbar) advance(src int) {
 // transmits immediately (no arbitration — the defining SWMR property);
 // with tuned receivers it must win the destination's receiver token first.
 func (x *Crossbar) haveCredit(src int) {
-	dst := x.queues[src].msgs[0].Dst
+	dst := x.queues[src].msgs.Front().Dst
 	if x.arb != nil {
 		x.arb.RequestEvent(dst, src, x)
 		return
@@ -260,7 +261,7 @@ func (x *Crossbar) haveCredit(src int) {
 // and deliver after serpentine propagation. The head stays at the front of
 // the source FIFO (holding its injection slot) until the release fires.
 func (x *Crossbar) transmit(src, dst int) {
-	m := x.queues[src].msgs[0]
+	m := x.queues[src].msgs.Front()
 
 	tx := sim.Time((m.Size + x.cfg.BytesPerCycle - 1) / x.cfg.BytesPerCycle)
 	prop := x.propagation(src, dst)

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
+	"os"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -243,4 +245,54 @@ func TestReadAllPropagatesError(t *testing.T) {
 	if _, err := ReadAll(r); err == nil {
 		t.Fatal("ReadAll swallowed a truncation error")
 	}
+}
+
+// BenchmarkRecordIO backs the package comment's buffering numbers: the
+// record codec against its own 64 KiB bufio layer, versus the same codec
+// forced through an unbuffered pipe (one syscall-grade boundary per
+// record), which is what naive per-record file I/O would pay.
+func BenchmarkRecordIO(b *testing.B) {
+	rec := Record{Time: 12345, Thread: 7, Addr: 0xdeadbeef, Write: true}
+	b.Run("buffered", func(b *testing.B) {
+		w, err := NewWriter(io.Discard, CountUnknown)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.Write(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unbuffered-pipe", func(b *testing.B) {
+		pr, pw, err := os.Pipe()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pr.Close()
+		defer pw.Close()
+		go func() {
+			buf := make([]byte, 1<<16)
+			for {
+				if _, err := pr.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// One write per record, no buffer in between — the shape of
+			// per-record file I/O without the bufio layer.
+			var buf [recordBytes]byte
+			binary.LittleEndian.PutUint64(buf[0:], uint64(rec.Time))
+			binary.LittleEndian.PutUint16(buf[8:], rec.Thread)
+			binary.LittleEndian.PutUint64(buf[10:], rec.Addr)
+			if _, err := pw.Write(buf[:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

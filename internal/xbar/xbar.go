@@ -46,12 +46,14 @@ func DefaultConfig() Config {
 }
 
 type srcDstQueue struct {
-	msgs   []*noc.Message
+	msgs   sim.Fifo[*noc.Message]
 	active bool // head message is progressing through credit/token/transmit
 }
 
 // Crossbar implements noc.Network.
 type Crossbar struct {
+	noc.MsgPool // per-network message free list (Acquire / Consume recycles)
+
 	k   *sim.Kernel
 	cfg Config
 	arb *arbiter.TokenRing
@@ -59,8 +61,8 @@ type Crossbar struct {
 	queues  [][]srcDstQueue // [src][dst]
 	deliver []noc.DeliverFunc
 
-	credits    []int   // per destination channel
-	creditWait [][]int // per destination: src clusters waiting, FIFO
+	credits    []int           // per destination channel
+	creditWait []sim.Fifo[int] // per destination: src clusters waiting, FIFO
 
 	// slots parks in-flight messages for the typed delivery event.
 	slots sim.Slots[*noc.Message]
@@ -133,7 +135,7 @@ func New(k *sim.Kernel, cfg Config) *Crossbar {
 		queues:     make([][]srcDstQueue, cfg.Clusters),
 		deliver:    make([]noc.DeliverFunc, cfg.Clusters),
 		credits:    make([]int, cfg.Clusters),
-		creditWait: make([][]int, cfg.Clusters),
+		creditWait: make([]sim.Fifo[int], cfg.Clusters),
 	}
 	for i := range x.queues {
 		x.queues[i] = make([]srcDstQueue, cfg.Clusters)
@@ -170,11 +172,11 @@ func (x *Crossbar) Send(m *noc.Message) bool {
 		panic(fmt.Sprintf("xbar: message %d is cluster-local (src == dst == %d)", m.ID, m.Src))
 	}
 	q := &x.queues[m.Src][m.Dst]
-	if len(q.msgs) >= x.cfg.InjectQueue {
+	if q.msgs.Len() >= x.cfg.InjectQueue {
 		return false
 	}
 	m.Inject = x.k.Now()
-	q.msgs = append(q.msgs, m)
+	q.msgs.Push(m)
 	if !q.active {
 		q.active = true
 		x.advance(m.Src, m.Dst)
@@ -183,15 +185,13 @@ func (x *Crossbar) Send(m *noc.Message) bool {
 }
 
 // Consume implements noc.Network: the hub drained one message from cluster's
-// receive buffer, freeing a credit. The crossbar has a single buffer pool per
-// cluster, so the message argument is not inspected.
-func (x *Crossbar) Consume(cluster int, _ *noc.Message) {
-	wait := x.creditWait[cluster]
-	if len(wait) > 0 {
-		src := wait[0]
-		x.creditWait[cluster] = wait[1:]
+// receive buffer, freeing a credit and recycling the message. The crossbar
+// has a single buffer pool per cluster, so only the freed credit matters.
+func (x *Crossbar) Consume(cluster int, m *noc.Message) {
+	x.Release(m)
+	if wait := &x.creditWait[cluster]; !wait.Empty() {
 		// Hand the credit straight to the waiting writer.
-		x.k.ScheduleEvent(0, (*creditEvent)(x), pack2(src, cluster))
+		x.k.ScheduleEvent(0, (*creditEvent)(x), pack2(wait.Pop(), cluster))
 		return
 	}
 	x.credits[cluster]++
@@ -204,7 +204,7 @@ func (x *Crossbar) Consume(cluster int, _ *noc.Message) {
 // pipeline.
 func (x *Crossbar) advance(src, dst int) {
 	q := &x.queues[src][dst]
-	if len(q.msgs) == 0 {
+	if q.msgs.Empty() {
 		q.active = false
 		return
 	}
@@ -213,7 +213,7 @@ func (x *Crossbar) advance(src, dst int) {
 		x.credits[dst]--
 		x.haveCredit(src, dst)
 	} else {
-		x.creditWait[dst] = append(x.creditWait[dst], src)
+		x.creditWait[dst].Push(src)
 	}
 }
 
@@ -226,8 +226,7 @@ func (x *Crossbar) haveCredit(src, dst int) {
 // token with the message tail, and deliver after propagation.
 func (x *Crossbar) transmit(src, dst int) {
 	q := &x.queues[src][dst]
-	m := q.msgs[0]
-	q.msgs = q.msgs[1:]
+	m := q.msgs.Pop()
 
 	tx := sim.Time((m.Size + x.cfg.BytesPerCycle - 1) / x.cfg.BytesPerCycle)
 	prop := x.propagation(src, dst)

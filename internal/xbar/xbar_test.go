@@ -316,3 +316,29 @@ func TestAggregateBandwidth(t *testing.T) {
 		t.Errorf("sustained %.1f B/cycle/channel, want >= 48 (near line rate)", perChannelBytesPerCycle)
 	}
 }
+
+// TestDoubleConsumePanics pins the pool misuse guard: a hub that Consumes
+// one delivery twice would corrupt both the credit ledger and the free
+// list, so the second release must panic at the offending call site.
+func TestDoubleConsumePanics(t *testing.T) {
+	k := sim.NewKernel()
+	x := New(k, DefaultConfig())
+	var delivered *noc.Message
+	for c := 0; c < 64; c++ {
+		x.SetDeliver(c, func(m *noc.Message) { delivered = m })
+	}
+	if !x.Send(msg(1, 3, 9, 64)) {
+		t.Fatal("send refused")
+	}
+	k.Run()
+	if delivered == nil {
+		t.Fatal("message never delivered")
+	}
+	x.Consume(9, delivered)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Consume did not panic")
+		}
+	}()
+	x.Consume(9, delivered)
+}
