@@ -236,6 +236,13 @@ func CacheDir(dir string) SweepOption { return core.CacheDir(dir) }
 // OnProgress registers a serialized per-cell completion callback.
 func OnProgress(fn func(SweepProgress)) SweepOption { return core.OnProgress(fn) }
 
+// Warmup toggles warmup forking (on by default): cells of one figure row
+// that share a structural group replay the fabric-independent warmup prefix
+// once and fork the remaining cells from a snapshot taken at the barrier.
+// Results are byte-identical either way (docs/DETERMINISM.md); Warmup(false)
+// forces the from-scratch reference path.
+func Warmup(on bool) SweepOption { return core.Warmup(on) }
+
 // CompareConfigs runs spec on several machines concurrently under identical
 // traffic (the seed is used as given, where a sweep derives a per-workload
 // seed from its base seed — either way, every machine in a row faces the

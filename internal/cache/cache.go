@@ -192,12 +192,46 @@ func (c *Cache) Occupancy() float64 {
 	return float64(valid) / float64(len(c.sets)*c.cfg.Ways)
 }
 
+// Reset returns the cache to its just-constructed state (all lines invalid,
+// counters zero), reusing the backing array.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		clear(set)
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// CopyFrom overwrites c with an exact copy of src's lines, LRU clock, and
+// counters. The two caches must share a configuration. Part of the
+// snapshot/restore substrate (docs/DETERMINISM.md).
+func (c *Cache) CopyFrom(src *Cache) {
+	if c.cfg != src.cfg {
+		panic(fmt.Sprintf("cache: CopyFrom config mismatch (%+v vs %+v)", c.cfg, src.cfg))
+	}
+	for i, set := range src.sets {
+		copy(c.sets[i], set)
+	}
+	c.clock = src.clock
+	c.stats = src.stats
+}
+
+// mshrEntry is one outstanding line miss and its merged requester count.
+type mshrEntry struct {
+	line  uint64
+	count int
+}
+
 // MSHR is a miss-status holding register file: it tracks outstanding line
 // misses, merges secondary misses onto the primary, and bounds the number of
-// in-flight misses (the finite-MSHR back pressure the paper models).
+// in-flight misses (the finite-MSHR back pressure the paper models). The
+// file is a flat entry slice searched linearly — at the architectural
+// capacities involved (tens of entries) that beats a hash map on the
+// Allocate/Complete hot path, and the entry order is unobservable: no
+// simulation decision ever iterates the file.
 type MSHR struct {
 	cap     int
-	pending map[uint64]int // line address -> merged requester count
+	entries []mshrEntry
 	// Stats.
 	PrimaryMisses   uint64
 	SecondaryMerges uint64
@@ -209,47 +243,73 @@ func NewMSHR(cap int) *MSHR {
 	if cap <= 0 {
 		panic("cache: MSHR capacity must be positive")
 	}
-	return &MSHR{cap: cap, pending: make(map[uint64]int)}
+	return &MSHR{cap: cap, entries: make([]mshrEntry, 0, cap)}
+}
+
+// find returns line's entry index, or -1.
+func (m *MSHR) find(line uint64) int {
+	for i := range m.entries {
+		if m.entries[i].line == line {
+			return i
+		}
+	}
+	return -1
 }
 
 // Len returns the number of occupied entries.
-func (m *MSHR) Len() int { return len(m.pending) }
+func (m *MSHR) Len() int { return len(m.entries) }
 
 // Cap returns the entry capacity.
 func (m *MSHR) Cap() int { return m.cap }
 
 // Lookup reports whether a miss for line is already outstanding.
-func (m *MSHR) Lookup(line uint64) bool {
-	_, ok := m.pending[line]
-	return ok
-}
+func (m *MSHR) Lookup(line uint64) bool { return m.find(line) >= 0 }
 
 // Allocate registers a miss for line. primary is true when this is the first
 // outstanding miss for the line (the caller must issue the memory request);
 // ok is false when the file is full and the miss must stall.
 func (m *MSHR) Allocate(line uint64) (primary, ok bool) {
-	if n, exists := m.pending[line]; exists {
-		m.pending[line] = n + 1
+	if i := m.find(line); i >= 0 {
+		m.entries[i].count++
 		m.SecondaryMerges++
 		return false, true
 	}
-	if len(m.pending) >= m.cap {
+	if len(m.entries) >= m.cap {
 		m.FullStalls++
 		return false, false
 	}
-	m.pending[line] = 1
+	m.entries = append(m.entries, mshrEntry{line: line, count: 1})
 	m.PrimaryMisses++
 	return true, true
+}
+
+// Reset drops every entry and zeroes the counters, keeping capacity.
+func (m *MSHR) Reset() {
+	m.entries = m.entries[:0]
+	m.PrimaryMisses, m.SecondaryMerges, m.FullStalls = 0, 0, 0
+}
+
+// CopyFrom overwrites m with an exact copy of src's entries and counters.
+// Capacities must match.
+func (m *MSHR) CopyFrom(src *MSHR) {
+	if m.cap != src.cap {
+		panic(fmt.Sprintf("cache: MSHR CopyFrom capacity mismatch (%d vs %d)", m.cap, src.cap))
+	}
+	m.entries = append(m.entries[:0], src.entries...)
+	m.PrimaryMisses, m.SecondaryMerges, m.FullStalls = src.PrimaryMisses, src.SecondaryMerges, src.FullStalls
 }
 
 // Complete retires line's entry, returning how many requesters were merged
 // on it. Completing a line with no entry panics: it indicates a protocol
 // bug, not a recoverable condition.
 func (m *MSHR) Complete(line uint64) int {
-	n, ok := m.pending[line]
-	if !ok {
+	i := m.find(line)
+	if i < 0 {
 		panic(fmt.Sprintf("cache: MSHR completion for absent line %#x", line))
 	}
-	delete(m.pending, line)
+	n := m.entries[i].count
+	last := len(m.entries) - 1
+	m.entries[i] = m.entries[last]
+	m.entries = m.entries[:last]
 	return n
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"corona/internal/config"
+	"corona/internal/noc"
 	"corona/internal/splash"
 	"corona/internal/stats"
 	"corona/internal/trace"
@@ -91,6 +92,7 @@ type runConfig struct {
 	cacheDir string
 	progress func(Progress)
 	onCell   func(CellResult)
+	noWarmup bool
 }
 
 // Option configures one Sweep.Run invocation.
@@ -111,6 +113,15 @@ func CacheDir(dir string) Option { return func(rc *runConfig) { rc.cacheDir = di
 // engine serializes invocations, so fn needs no locking of its own.
 func OnProgress(fn func(Progress)) Option { return func(rc *runConfig) { rc.progress = fn } }
 
+// Warmup toggles warmup forking (on by default). When on, the first cell of
+// each row's structural group replays the workload's fabric-independent
+// prefix — everything before the first remote miss can issue — once, snapshots
+// the machine at that barrier, and every other cell of the group forks from
+// the snapshot instead of re-simulating the prefix. Results are byte-identical
+// either way (the differential fork-equivalence suite pins this); Warmup(false)
+// is the reference path that byte-identity is asserted against.
+func Warmup(on bool) Option { return func(rc *runConfig) { rc.noWarmup = !on } }
+
 // onCell registers the streaming-consumer callback (Job.Results). Like
 // OnProgress it is serialized by the engine; unlike OnProgress it carries
 // the full Result, so a consumer can render cells as shards finish instead
@@ -130,7 +141,20 @@ func onCell(fn func(CellResult)) Option { return func(rc *runConfig) { rc.onCell
 type rowStreams struct {
 	mu         sync.Mutex
 	byClusters map[int][][]trace.Record
+	warm       map[string]*warmupShared
 	remaining  int
+}
+
+// warmupShared is one row's shared warmup snapshot for one structural group
+// of configurations (same cluster count, MSHR capacity, hub latency, and
+// memory config — the parameters a snapshot restore requires to match; the
+// fabric is deliberately excluded). The first cell of the group to arrive
+// computes the snapshot under the once; the rest fork from it. A nil snap
+// after the once means the group has nothing to share (barrier at time zero,
+// or the snapshot failed) and cells replay from scratch.
+type warmupShared struct {
+	once sync.Once
+	snap *WarmupSnapshot
 }
 
 // acquire returns the row's materialized stream for a machine of `clusters`
@@ -150,23 +174,138 @@ func (r *rowStreams) acquire(spec traffic.Spec, clusters, requests int, seed uin
 	return s
 }
 
-// release records one finished cell; the last one frees the row's streams.
+// warmup returns the row's shared warmup state for one structural group,
+// creating it on first use.
+func (r *rowStreams) warmup(key string) *warmupShared {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.warm == nil {
+		r.warm = make(map[string]*warmupShared)
+	}
+	ws := r.warm[key]
+	if ws == nil {
+		ws = &warmupShared{}
+		r.warm[key] = ws
+	}
+	return ws
+}
+
+// release records one finished cell; the last one frees the row's streams
+// and warmup snapshots.
 func (r *rowStreams) release() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.remaining--; r.remaining == 0 {
 		r.byClusters = nil
+		r.warm = nil
 	}
 }
 
-// runCell simulates one sweep cell by replaying the row's shared stream on
-// a freshly built machine.
-func (s *Sweep) runCell(ctx context.Context, cfg config.System, spec traffic.Spec, row *rowStreams, seed uint64) (Result, error) {
-	sys, err := NewSystem(cfg)
+// systemPool recycles built machines across a sweep's cells, one free list
+// per configuration column. A column's systems are structurally identical, so
+// get pops one and Resets it to construction state (falling back to a fresh
+// build if the fabric cannot reset in place); put parks only systems whose
+// fabric supports reset. Pooling kills the per-cell construction garbage that
+// previously dominated sweep allocation.
+type systemPool struct {
+	mu   sync.Mutex
+	free [][]*System
+}
+
+func newSystemPool(columns int) *systemPool {
+	return &systemPool{free: make([][]*System, columns)}
+}
+
+func (p *systemPool) get(col int, cfg config.System) (*System, error) {
+	p.mu.Lock()
+	var sys *System
+	if n := len(p.free[col]); n > 0 {
+		sys = p.free[col][n-1]
+		p.free[col][n-1] = nil
+		p.free[col] = p.free[col][:n-1]
+	}
+	p.mu.Unlock()
+	if sys != nil && sys.Reset() == nil {
+		return sys, nil
+	}
+	return NewSystem(cfg)
+}
+
+func (p *systemPool) put(col int, sys *System) {
+	if sys == nil {
+		return
+	}
+	if _, ok := sys.Net.(noc.Resetter); !ok {
+		return
+	}
+	p.mu.Lock()
+	p.free[col] = append(p.free[col], sys)
+	p.mu.Unlock()
+}
+
+// warmupGroupKey names the structural group a configuration's cells share a
+// warmup snapshot within: the parameters System.Restore requires to match.
+// The fabric is excluded — restoring one group's snapshot under different
+// fabrics is the point of warmup forking.
+func warmupGroupKey(sys *System) string {
+	return fmt.Sprintf("%d/%d/%d/%+v", sys.Cfg.Clusters, sys.Cfg.MSHRs, sys.Cfg.HubLatency, sys.Cfg.MemConfig())
+}
+
+// warmupSnap returns the row's shared warmup snapshot for sys's structural
+// group, computing it on first use by replaying the fabric-independent prefix
+// on sys itself (the donor) up to the warmup barrier and snapshotting there.
+// A nil snapshot means there is nothing to share — the barrier is at time
+// zero, or capturing failed — and the caller replays from scratch; dirty
+// reports that sys advanced past construction state without yielding a
+// snapshot and must be reset before that scratch replay.
+func (s *Sweep) warmupSnap(sys *System, name string, row *rowStreams, buckets [][]trace.Record) (snap *WarmupSnapshot, dirty bool) {
+	ws := row.warmup(warmupGroupKey(sys))
+	ws.once.Do(func() {
+		barrier := WarmupHorizon(buckets)
+		if barrier == 0 {
+			return
+		}
+		r, err := ReplayRunner(sys, name, buckets)
+		if err != nil {
+			return
+		}
+		r.RunToBarrier(barrier)
+		captured, err := r.Snapshot()
+		if err != nil {
+			dirty = true
+			return
+		}
+		ws.snap = captured
+	})
+	return ws.snap, dirty
+}
+
+// runCell simulates one sweep cell by replaying the row's shared stream on a
+// pooled (or freshly built) machine. With warmup on, the cell forks from its
+// structural group's shared barrier snapshot instead of replaying the
+// fabric-independent prefix; every fallback path below lands on the scratch
+// replay, so a cell can never fail because forking was unavailable.
+func (s *Sweep) runCell(ctx context.Context, cfg config.System, spec traffic.Spec, row *rowStreams, seed uint64, pool *systemPool, col int, noWarmup bool) (Result, error) {
+	sys, err := pool.get(col, cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	defer func() { pool.put(col, sys) }()
 	buckets := row.acquire(spec, sys.Cfg.Clusters, s.Requests, seed)
+	if !noWarmup {
+		snap, dirty := s.warmupSnap(sys, spec.Name, row, buckets)
+		if snap != nil {
+			if fr, err := ForkRunner(sys, snap); err == nil {
+				return fr.Run(ctx)
+			}
+			dirty = true // a failed restore leaves the kernel reset, not the system
+		}
+		if dirty && sys.Reset() != nil {
+			if sys, err = NewSystem(cfg); err != nil {
+				return Result{}, err
+			}
+		}
+	}
 	r, err := ReplayRunner(sys, spec.Name, buckets)
 	if err != nil {
 		return Result{}, err
@@ -208,6 +347,7 @@ func (s *Sweep) Run(ctx context.Context, opts ...Option) error {
 	}
 
 	cache := openCache(rc.cacheDir)
+	pool := newSystemPool(nc)
 	rows := make([]*rowStreams, len(s.Workloads))
 	for w := range rows {
 		rows[w] = &rowStreams{remaining: nc}
@@ -227,7 +367,7 @@ func (s *Sweep) Run(ctx context.Context, opts ...Option) error {
 		res, cached := cache.load(cfg, spec, s.Requests, seed)
 		if !cached {
 			var err error
-			res, err = s.runCell(runCtx, cfg, spec, rows[w], seed)
+			res, err = s.runCell(runCtx, cfg, spec, rows[w], seed, pool, c, rc.noWarmup)
 			if err != nil {
 				mu.Lock()
 				// Cancellations are either the outer ctx (reported below) or

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"corona/internal/sim"
+	"corona/internal/trace"
+	"corona/internal/traffic"
+)
+
+// WarmupSnapshot captures a runner and its system at the warmup barrier: a
+// fabric-independent mid-run state from which replays under any fabric can
+// be forked instead of re-simulating the warmup prefix. One snapshot may
+// fork many runners, concurrently (docs/DETERMINISM.md).
+type WarmupSnapshot struct {
+	sys *SystemSnapshot
+
+	name     string
+	requests int
+	src      Source // frozen clone; each fork clones it again
+
+	perCluster []int
+	pending    []trace.Record
+	hasPending []bool
+	waiting    []bool
+}
+
+// cloneSource deep-copies a miss-stream source's replay position. It reports
+// false for source types it cannot clone.
+func cloneSource(src Source) (Source, bool) {
+	switch s := src.(type) {
+	case *traceSource:
+		return &traceSource{buckets: append([][]trace.Record(nil), s.buckets...)}, true
+	case *traffic.Generator:
+		return s.Clone(), true
+	}
+	return nil, false
+}
+
+// Snapshot captures the runner and its system at the current instant (which
+// must satisfy the system snapshot contract: network quiescent, no queued
+// injections). The runner's replay position — per-cluster remaining counts,
+// buffered head records, wake bookkeeping, and the source's stream state —
+// is captured alongside the system so a fork resumes mid-stream exactly.
+func (r *Runner) Snapshot() (*WarmupSnapshot, error) {
+	src, ok := cloneSource(r.src)
+	if !ok {
+		return nil, fmt.Errorf("core: %T sources cannot be snapshotted", r.src)
+	}
+	sys, err := r.sys.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &WarmupSnapshot{
+		sys:        sys,
+		name:       r.name,
+		requests:   r.requests,
+		src:        src,
+		perCluster: append([]int(nil), r.perCluster...),
+		pending:    append([]trace.Record(nil), r.pending...),
+		hasPending: append([]bool(nil), r.hasPending...),
+		waiting:    append([]bool(nil), r.waiting...),
+	}, nil
+}
+
+// ForkRunner restores snap into sys — a freshly built or Reset machine,
+// structurally compatible with the snapshot's source but possibly under a
+// different fabric — and returns a Runner that continues the replay from the
+// barrier. The forked runner's Run produces a Result field-identical to a
+// from-scratch run of the same cell (the differential fork-equivalence suite
+// pins this).
+func ForkRunner(sys *System, snap *WarmupSnapshot) (*Runner, error) {
+	src, _ := cloneSource(snap.src) // snapshotted sources always re-clone
+	r := &Runner{
+		sys:        sys,
+		src:        src,
+		name:       snap.name,
+		requests:   snap.requests,
+		perCluster: append([]int(nil), snap.perCluster...),
+		pending:    append([]trace.Record(nil), snap.pending...),
+		hasPending: append([]bool(nil), snap.hasPending...),
+		waiting:    append([]bool(nil), snap.waiting...),
+		pumped:     true, // the snapshot was taken after the initial pump
+	}
+	err := sys.Restore(snap.sys, func(h sim.Handler) sim.Handler {
+		if _, ok := h.(*issueWake); ok {
+			return (*issueWake)(r)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.SetMSHRFreeHook(func(cluster int) { r.pump(cluster) })
+	return r, nil
+}
+
+// RunToBarrier advances the replay to the warmup barrier: it performs the
+// initial pump, then dispatches every event with a timestamp strictly below
+// barrier, leaving the clock at the last dispatched event. With the barrier
+// at WarmupHorizon, no remote miss has issued yet, so the network is still
+// quiescent and the runner satisfies the Snapshot contract.
+func (r *Runner) RunToBarrier(barrier sim.Time) {
+	if !r.pumped {
+		for c := 0; c < r.sys.Cfg.Clusters; c++ {
+			r.pump(c)
+		}
+		r.pumped = true
+	}
+	r.sys.K.RunBefore(barrier)
+}
+
+// WarmupHorizon returns the conservative warmup barrier for a materialized
+// stream: the earliest timestamp at which any cluster's replay can issue a
+// remote (network-visible) miss. Per-cluster streams are time-monotone, so
+// every record strictly before the horizon is local and the simulation prefix
+// below it is fabric-independent. Zero means some cluster's very first record
+// is already remote at time zero — no prefix to share, and callers skip
+// forking. A stream with no remote records at all returns the maximum time:
+// the whole replay is fabric-independent.
+func WarmupHorizon(buckets [][]trace.Record) sim.Time {
+	clusters := len(buckets)
+	horizon := ^sim.Time(0)
+	for c, bucket := range buckets {
+		for _, rec := range bucket {
+			if traffic.HomeOf(rec.Addr, clusters) != c {
+				if rec.Time < horizon {
+					horizon = rec.Time
+				}
+				break
+			}
+		}
+	}
+	return horizon
+}

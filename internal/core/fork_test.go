@@ -1,0 +1,338 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"corona/internal/config"
+	"corona/internal/sim"
+	"corona/internal/traffic"
+)
+
+// maxHorizon is WarmupHorizon's "no remote record at all" sentinel: the whole
+// replay is fabric-independent.
+const maxHorizon = ^sim.Time(0)
+
+// forkFabrics are the four registered fabrics a structural group's snapshot
+// must restore under interchangeably.
+var forkFabrics = []string{"xbar", "swmr", "hmesh", "lmesh"}
+
+// fabricConfig builds the 64-cluster OCM preset structure on the named
+// fabric — all four share one warmupGroupKey, so they fork from one snapshot.
+func fabricConfig(fabric string) config.System {
+	return config.Custom("", fabric, config.OCM, nil)
+}
+
+// localUniformSpec is the forced-fork workload: local enough that every
+// cluster's first miss is home-bound (a nonzero warmup barrier), remote
+// enough that the replay still exercises the network after the fork. The
+// horizon this yields under seed 1 at 800 requests is pinned by
+// TestForcedForkSweepDifferential.
+func localUniformSpec() traffic.Spec {
+	return traffic.Spec{Name: "LocalUniform", Kind: traffic.Uniform,
+		DemandTBs: 5, LocalFrac: 0.999, WriteFrac: 0.3}
+}
+
+// localTransposeSpec draws a stream with no remote record at all under seed 1
+// at 800 requests: WarmupHorizon reports the maximum time, and the donor
+// replays the entire cell before snapshotting — the end-state-capture extreme
+// of the fork path.
+func localTransposeSpec() traffic.Spec {
+	return traffic.Spec{Name: "LocalTranspose", Kind: traffic.Transpose,
+		DemandTBs: 5, LocalFrac: 0.999, WriteFrac: 0.1}
+}
+
+// assertCellsEqual compares two sweeps' Results grids field-exactly (Result
+// is a comparable struct, so == is every-field equality).
+func assertCellsEqual(t *testing.T, label string, want, got *Sweep) {
+	t.Helper()
+	for w := range want.Results {
+		for c := range want.Results[w] {
+			if got.Results[w][c] != want.Results[w][c] {
+				t.Errorf("%s: cell (%s on %s) differs:\nwarmup off: %+v\nwarmup on:  %+v",
+					label, want.Workloads[w].Name, want.Configs[c].Name(),
+					want.Results[w][c], got.Results[w][c])
+			}
+		}
+	}
+}
+
+// TestWarmupSweepMatchesNoWarmup is the differential fork-equivalence suite
+// over the acceptance matrix: every (config, workload) cell of the 6x15
+// matrix must produce a field-exact identical Result with warmup forking on
+// and off, sequentially and in parallel, and the rendered figure tables must
+// match byte for byte. Warmup(false) is the reference path; Warmup(true) is
+// the default the sweep engine actually runs.
+func TestWarmupSweepMatchesNoWarmup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three 90-cell matrices")
+	}
+	ref := sixMachineMatrix(300)
+	mustSweep(t, ref, Workers(1), Warmup(false))
+	want := sweepTables(ref)
+	for _, leg := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 8}} {
+		warm := sixMachineMatrix(300)
+		mustSweep(t, warm, Workers(leg.workers), Warmup(true))
+		assertCellsEqual(t, leg.name, ref, warm)
+		if sweepTables(warm) != want {
+			t.Errorf("%s: warmup-on 6x15 tables differ from warmup-off reference", leg.name)
+		}
+	}
+}
+
+// forcedForkMatrix pairs the two forced-fork workloads with all six machine
+// structures. Both rows carry a nonzero warmup barrier, so with warmup on
+// every cell but each row's donor genuinely forks from a shared snapshot.
+func forcedForkMatrix(requests int) *Sweep {
+	configs := append(config.Combos(), config.Custom("", "swmr", config.OCM, nil))
+	return NewMatrixSweep(configs,
+		[]traffic.Spec{localUniformSpec(), localTransposeSpec()}, requests, 1)
+}
+
+// TestForcedForkSweepDifferential drives the sweep engine down the fork path
+// for real: it first pins that the two workloads' barriers are nonzero (one
+// mid-stream, one at end-of-stream), then asserts warmup-on results are
+// field-identical to the warmup-off reference, sequentially and in parallel.
+// The paper's fifteen workloads all touch the network at time zero, so this
+// synthetic matrix is what actually exercises forking end to end.
+func TestForcedForkSweepDifferential(t *testing.T) {
+	const requests = 800
+	s := forcedForkMatrix(requests)
+	horizons := make(map[string]sim.Time)
+	for _, spec := range s.Workloads {
+		buckets := MaterializeStream(spec, 64, requests, CellSeed(s.Seed, spec.Name))
+		horizons[spec.Name] = WarmupHorizon(buckets)
+		if horizons[spec.Name] == 0 {
+			t.Fatalf("%s: warmup horizon is zero — the fork path would not run; pick a different seed", spec.Name)
+		}
+	}
+	if h := horizons["LocalUniform"]; h == maxHorizon {
+		t.Fatalf("LocalUniform: expected a finite mid-stream barrier, got the no-remote sentinel")
+	}
+	if h := horizons["LocalTranspose"]; h != maxHorizon {
+		t.Logf("LocalTranspose: barrier %d (finite); end-of-stream extreme not covered this seed", h)
+	}
+
+	ref := forcedForkMatrix(requests)
+	mustSweep(t, ref, Workers(1), Warmup(false))
+	seqWarm := forcedForkMatrix(requests)
+	mustSweep(t, seqWarm, Workers(1), Warmup(true))
+	assertCellsEqual(t, "sequential", ref, seqWarm)
+	parWarm := forcedForkMatrix(requests)
+	mustSweep(t, parWarm, Workers(6), Warmup(true))
+	assertCellsEqual(t, "parallel", ref, parWarm)
+}
+
+// TestForkCellMatchesScratchAcrossFabrics is the cell-level half of the
+// differential suite: one donor (the crossbar machine) replays to the barrier
+// and snapshots; the snapshot then forks into a fresh machine of every fabric
+// — including fabrics the donor never was — and each forked Run must equal
+// that fabric's from-scratch Run on every Result field.
+func TestForkCellMatchesScratchAcrossFabrics(t *testing.T) {
+	spec := localUniformSpec()
+	const requests = 800
+	buckets := MaterializeStream(spec, 64, requests, CellSeed(1, spec.Name))
+	barrier := WarmupHorizon(buckets)
+	if barrier == 0 || barrier == maxHorizon {
+		t.Fatalf("want a finite nonzero barrier, got %d", barrier)
+	}
+	donor, err := NewSystem(fabricConfig("xbar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := ReplayRunner(donor, spec.Name, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.RunToBarrier(barrier)
+	snap, err := dr.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot at barrier %d: %v", barrier, err)
+	}
+	for _, fabric := range forkFabrics {
+		cfg := fabricConfig(fabric)
+		scratchSys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := ReplayRunner(scratchSys, spec.Name, buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch, err := sr.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s scratch: %v", fabric, err)
+		}
+		forkSys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := ForkRunner(forkSys, snap)
+		if err != nil {
+			t.Fatalf("%s fork: %v", fabric, err)
+		}
+		forked, err := fr.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s forked run: %v", fabric, err)
+		}
+		if forked != scratch {
+			t.Errorf("%s: forked result differs from scratch:\nscratch: %+v\nforked:  %+v",
+				fabric, scratch, forked)
+		}
+	}
+}
+
+// TestSnapshotRandomCutsMatchOracle is the property test behind the snapshot
+// contract: under an all-local workload (the network stays quiescent at every
+// instant, so any cut satisfies the contract), a run snapshotted after an
+// arbitrary seeded-random number of kernel events and forked into a fresh
+// machine must finish with exactly the oracle's Result — including Cycles and
+// KernelEvents, which pin the restored kernel's (when, seq) dispatch order —
+// and the interrupted original must too.
+func TestSnapshotRandomCutsMatchOracle(t *testing.T) {
+	spec := traffic.Spec{Name: "AllLocal", Kind: traffic.Uniform,
+		DemandTBs: 5, LocalFrac: 1, WriteFrac: 0.4}
+	cfg := config.Corona()
+	const requests = 900
+	buckets := MaterializeStream(spec, cfg.Clusters, requests, CellSeed(7, spec.Name))
+
+	oracleSys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := ReplayRunner(oracleSys, spec.Name, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := or.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.KernelEvents < 100 {
+		t.Fatalf("oracle dispatched only %d events; cuts would not be interesting", oracle.KernelEvents)
+	}
+
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 8; trial++ {
+		cut := 1 + rng.Intn(int(oracle.KernelEvents)-1)
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ReplayRunner(sys, spec.Name, buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.RunToBarrier(0) // initial pump only: no event precedes time zero
+		for i := 0; i < cut; i++ {
+			if !sys.K.Step() {
+				t.Fatalf("trial %d: queue drained after %d of %d events", trial, i, cut)
+			}
+		}
+		snap, err := r.Snapshot()
+		if err != nil {
+			t.Fatalf("trial %d: snapshot after %d events: %v", trial, cut, err)
+		}
+		fresh, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := ForkRunner(fresh, snap)
+		if err != nil {
+			t.Fatalf("trial %d: fork: %v", trial, err)
+		}
+		forked, err := fr.Run(context.Background())
+		if err != nil {
+			t.Fatalf("trial %d: forked run: %v", trial, err)
+		}
+		if forked != oracle {
+			t.Errorf("trial %d: fork at event %d diverged from oracle:\noracle: %+v\nforked: %+v",
+				trial, cut, oracle, forked)
+		}
+		cont, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatalf("trial %d: resumed original: %v", trial, err)
+		}
+		if cont != oracle {
+			t.Errorf("trial %d: interrupted original diverged from oracle after event %d:\noracle:  %+v\nresumed: %+v",
+				trial, cut, oracle, cont)
+		}
+	}
+}
+
+// TestConcurrentForksShareSnapshotRace extends TestPooledSweepParallelRace to
+// the snapshot plane: eight goroutines fork one shared WarmupSnapshot into
+// their own machines — two of each fabric — concurrently, the read-only
+// sharing the sweep engine relies on when a row's cells fork in parallel.
+// Run under -race in CI; each fork must still match its fabric's scratch run.
+func TestConcurrentForksShareSnapshotRace(t *testing.T) {
+	spec := localUniformSpec()
+	const requests = 600
+	buckets := MaterializeStream(spec, 64, requests, CellSeed(1, spec.Name))
+	barrier := WarmupHorizon(buckets)
+	if barrier == 0 {
+		t.Fatal("warmup horizon is zero; no snapshot to share")
+	}
+	donor, err := NewSystem(fabricConfig("xbar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := ReplayRunner(donor, spec.Name, buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.RunToBarrier(barrier)
+	snap, err := dr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]Result, len(forkFabrics))
+	for _, fabric := range forkFabrics {
+		sys, err := NewSystem(fabricConfig(fabric))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := ReplayRunner(sys, spec.Name, buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sr.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[fabric] = res
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2*len(forkFabrics); i++ {
+		fabric := forkFabrics[i%len(forkFabrics)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys, err := NewSystem(fabricConfig(fabric))
+			if err != nil {
+				t.Errorf("%s: %v", fabric, err)
+				return
+			}
+			fr, err := ForkRunner(sys, snap)
+			if err != nil {
+				t.Errorf("%s: fork: %v", fabric, err)
+				return
+			}
+			got, err := fr.Run(context.Background())
+			if err != nil {
+				t.Errorf("%s: forked run: %v", fabric, err)
+				return
+			}
+			if got != want[fabric] {
+				t.Errorf("%s: concurrent fork differs from scratch:\nscratch: %+v\nforked:  %+v",
+					fabric, want[fabric], got)
+			}
+		}()
+	}
+	wg.Wait()
+}

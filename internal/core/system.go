@@ -280,12 +280,13 @@ func (h *hub) armRetry(dst int) {
 // pumpOut injects as many queued messages for dst as the network accepts,
 // then arms a single retry timer on back pressure.
 func (h *hub) pumpOut(dst int) {
-	for !h.outq[dst].Empty() {
-		if !h.sys.Net.Send(h.outq[dst].Front()) {
+	q := &h.outq[dst]
+	for !q.Empty() {
+		if !h.sys.Net.Send(q.Front()) {
 			h.armRetry(dst)
 			return
 		}
-		h.outq[dst].Pop()
+		q.Pop()
 	}
 }
 

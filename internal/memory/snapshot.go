@@ -1,0 +1,149 @@
+package memory
+
+import (
+	"fmt"
+
+	"corona/internal/sim"
+)
+
+// ControllerState is a deep, self-contained copy of one controller's dynamic
+// state — channel bookings, bank busy times, queue occupancy, space waiters,
+// in-flight transactions, and counters — used by the warmup-forking snapshot
+// machinery (docs/DETERMINISM.md). Handler references inside it still point
+// at the source simulation's components; RestoreState remaps them. A state
+// is only ever read after capture, so one state may be restored into many
+// controllers concurrently.
+type ControllerState struct {
+	cfg      Config
+	in       []ival
+	out      []ival // nil when half duplex (out aliases in)
+	banks    []sim.Time
+	queued   int
+	waiters  []spaceWaiter
+	inflight sim.Slots[inflightReq]
+
+	served, bytesMoved, refusals uint64
+	totalLatency                 sim.Time
+}
+
+// CaptureState deep-copies the controller's dynamic state into st (reusing
+// its storage). Closure callbacks — a spaceWaiter's fn or a Request's Done —
+// cannot be carried across a fork, so their presence is an error; the hub's
+// hot path uses the typed handler fields throughout.
+func (c *Controller) CaptureState(st *ControllerState) error {
+	st.cfg = c.cfg
+	st.in = append(st.in[:0], c.inLink.booked...)
+	if c.cfg.HalfDuplex {
+		st.out = nil
+	} else {
+		st.out = append(st.out[:0], c.outLink.booked...)
+	}
+	st.banks = append(st.banks[:0], c.banks...)
+	st.queued = c.queued
+	st.waiters = st.waiters[:0]
+	for i := 0; i < c.waiters.Len(); i++ {
+		w := c.waiters.At(i)
+		if w.fn != nil {
+			return fmt.Errorf("memory: controller %d: closure space waiter cannot be snapshotted", c.id)
+		}
+		st.waiters = append(st.waiters, w)
+	}
+	st.inflight.CopyFrom(&c.inflight)
+	var closureErr error
+	st.inflight.Walk(func(_ uint64, f *inflightReq) {
+		if f.r.Done != nil && closureErr == nil {
+			closureErr = fmt.Errorf("memory: controller %d: in-flight request %d uses a closure Done callback and cannot be snapshotted", c.id, f.r.ID)
+		}
+	})
+	if closureErr != nil {
+		return closureErr
+	}
+	st.served, st.bytesMoved, st.refusals = c.Served, c.BytesMoved, c.QueueFullRefusals
+	st.totalLatency = c.TotalLatency
+	return nil
+}
+
+// RestoreState overwrites the controller's dynamic state with st. The
+// controller must have been built with the same Config. remap translates
+// handler references (completion handlers, typed space waiters) from the
+// source simulation's components into this one's; a nil return fails the
+// restore. st itself is never written.
+func (c *Controller) RestoreState(st *ControllerState, remap func(sim.Handler) sim.Handler) error {
+	if c.cfg != st.cfg {
+		return fmt.Errorf("memory: controller %d: restore config mismatch (%s vs %s)", c.id, c.cfg.Name, st.cfg.Name)
+	}
+	c.inLink.booked = append(c.inLink.booked[:0], st.in...)
+	if !c.cfg.HalfDuplex {
+		c.outLink.booked = append(c.outLink.booked[:0], st.out...)
+	}
+	copy(c.banks, st.banks)
+	c.queued = st.queued
+	c.waiters.Reset()
+	for _, w := range st.waiters {
+		if w.h != nil {
+			nh := remap(w.h)
+			if nh == nil {
+				return fmt.Errorf("memory: controller %d: no mapping for space-waiter handler %T", c.id, w.h)
+			}
+			w.h = nh
+		}
+		c.waiters.Push(w)
+	}
+	c.inflight.CopyFrom(&st.inflight)
+	var remapErr error
+	c.inflight.Walk(func(_ uint64, f *inflightReq) {
+		if f.r.DoneHandler == nil || remapErr != nil {
+			return
+		}
+		nh := remap(f.r.DoneHandler)
+		if nh == nil {
+			remapErr = fmt.Errorf("memory: controller %d: no mapping for completion handler %T", c.id, f.r.DoneHandler)
+			return
+		}
+		f.r.DoneHandler = nh
+	})
+	if remapErr != nil {
+		return remapErr
+	}
+	c.Served, c.BytesMoved, c.QueueFullRefusals = st.served, st.bytesMoved, st.refusals
+	c.TotalLatency = st.totalLatency
+	return nil
+}
+
+// Reset returns the controller to its just-constructed state, keeping grown
+// storage so a pooled controller's next run allocates nothing.
+func (c *Controller) Reset() {
+	c.inLink.booked = c.inLink.booked[:0]
+	if !c.cfg.HalfDuplex {
+		c.outLink.booked = c.outLink.booked[:0]
+	}
+	clear(c.banks)
+	c.queued = 0
+	c.waiters.Reset()
+	c.inflight.Reset()
+	c.Served, c.BytesMoved, c.QueueFullRefusals = 0, 0, 0
+	c.TotalLatency = 0
+}
+
+// OwnsHandler reports whether h is a memory-owned typed handler (the
+// completion event type is unexported; snapshot vetting uses this).
+func OwnsHandler(h sim.Handler) bool {
+	_, ok := h.(*finishEvent)
+	return ok
+}
+
+// RemapHandler translates a controller-owned typed handler from one
+// simulation into the equivalent handler of the controller pick(id) returns.
+// It reports false when h is not a memory-owned handler (the caller should
+// try its other component families).
+func RemapHandler(h sim.Handler, pick func(id int) *Controller) (sim.Handler, bool) {
+	e, ok := h.(*finishEvent)
+	if !ok {
+		return nil, false
+	}
+	nc := pick((*Controller)(e).id)
+	if nc == nil {
+		return nil, false
+	}
+	return (*finishEvent)(nc), true
+}

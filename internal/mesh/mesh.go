@@ -110,11 +110,15 @@ type Mesh struct {
 	cfg Config
 	n   int
 
-	ports   [][]outPort // [router][dir]
+	// ports is the flat [router][dir] output-port array, laid out
+	// router-major (index router*numDirs + dir): one contiguous block, so
+	// the per-hop pipeline pays a single bounds check and no pointer chase
+	// per port access.
+	ports   []outPort
 	deliver []noc.DeliverFunc
 	// injectCount tracks stage-0 packets per cluster per class against
-	// InjectQueue.
-	injectCount [][]int
+	// InjectQueue, laid out cluster-major (cluster*numClasses + class).
+	injectCount []int
 
 	// slots parks in-flight packets for the typed hop/eject events; pktFree
 	// recycles retired packets (keeping their routed-path buffers) so the
@@ -142,13 +146,18 @@ func unpackRef(data uint64) portRef {
 	return portRef{router: int(data >> 3 & 0x1ffff), d: dir(data & 7)}
 }
 
+// port returns the output port at (router, d) in the flat array.
+func (m *Mesh) port(router int, d dir) *outPort {
+	return &m.ports[router*int(numDirs)+int(d)]
+}
+
 // wakeEvent is a deferred tryGrant on a busy port.
 type wakeEvent Mesh
 
 func (e *wakeEvent) OnEvent(now sim.Time, data uint64) {
 	m := (*Mesh)(e)
 	ref := unpackRef(data)
-	p := &m.ports[ref.router][ref.d]
+	p := m.port(ref.router, ref.d)
 	if p.wakeAt == now {
 		p.wakeSet = false
 	}
@@ -163,7 +172,7 @@ func (e *creditEvent) OnEvent(_ sim.Time, data uint64) {
 	m := (*Mesh)(e)
 	ref := unpackRef(data)
 	class := int(data >> 20 & 1)
-	m.ports[ref.router][ref.d].credits[class]++
+	m.port(ref.router, ref.d).credits[class]++
 	m.tryGrant(ref)
 }
 
@@ -172,7 +181,7 @@ type injectDoneEvent Mesh
 
 func (e *injectDoneEvent) OnEvent(_ sim.Time, data uint64) {
 	m := (*Mesh)(e)
-	m.injectCount[int(data&0xffff)][int(data>>20&1)]--
+	m.injectCount[int(data&0xffff)*numClasses+int(data>>20&1)]--
 }
 
 // hopEvent advances a packet's head into the next router (cut-through).
@@ -183,7 +192,7 @@ func (e *hopEvent) OnEvent(_ sim.Time, data uint64) {
 	p := m.slots.Take(data)
 	p.stage++
 	next := p.path[p.stage]
-	np := &m.ports[next.router][next.d]
+	np := m.port(next.router, next.d)
 	np.q[p.class].Push(p)
 	m.tryGrant(next)
 }
@@ -239,21 +248,19 @@ func New(k *sim.Kernel, cfg Config) *Mesh {
 	}
 	m := &Mesh{
 		k: k, cfg: cfg, n: n,
-		ports:       make([][]outPort, n),
+		ports:       make([]outPort, n*int(numDirs)),
 		deliver:     make([]noc.DeliverFunc, n),
-		injectCount: make([][]int, n),
+		injectCount: make([]int, n*numClasses),
 	}
 	for r := 0; r < n; r++ {
-		m.ports[r] = make([]outPort, numDirs)
-		m.injectCount[r] = make([]int, numClasses)
 		for d := dir(0); d < numDirs; d++ {
 			for c := 0; c < numClasses; c++ {
 				if d == dirEject {
 					// Eject credits are shared across classes through the
 					// hub's receive buffer; split the pool evenly.
-					m.ports[r][d].credits[c] = cfg.RecvBuffer / numClasses
+					m.port(r, d).credits[c] = cfg.RecvBuffer / numClasses
 				} else {
-					m.ports[r][d].credits[c] = cfg.LinkBuffer
+					m.port(r, d).credits[c] = cfg.LinkBuffer
 				}
 			}
 		}
@@ -263,6 +270,66 @@ func New(k *sim.Kernel, cfg Config) *Mesh {
 
 // Name implements noc.Network.
 func (m *Mesh) Name() string { return m.cfg.Name }
+
+// Quiescent implements noc.Quiescer: nil only when the mesh is in its
+// construction state — idle ports, empty VC queues, full credit pools, no
+// in-flight packets.
+func (m *Mesh) Quiescent() error {
+	for r := 0; r < m.n; r++ {
+		for d := dir(0); d < numDirs; d++ {
+			p := m.port(r, d)
+			if p.busyUntil != 0 || p.wakeSet || p.rr != 0 {
+				return fmt.Errorf("mesh: port (%d,%d) has been active", r, d)
+			}
+			for c := 0; c < numClasses; c++ {
+				if !p.q[c].Empty() {
+					return fmt.Errorf("mesh: port (%d,%d) class %d holds %d packets", r, d, c, p.q[c].Len())
+				}
+				want := m.cfg.LinkBuffer
+				if d == dirEject {
+					want = m.cfg.RecvBuffer / numClasses
+				}
+				if p.credits[c] != want {
+					return fmt.Errorf("mesh: port (%d,%d) class %d holds %d/%d credits", r, d, c, p.credits[c], want)
+				}
+			}
+		}
+		for c := 0; c < numClasses; c++ {
+			if n := m.injectCount[r*numClasses+c]; n != 0 {
+				return fmt.Errorf("mesh: cluster %d class %d has %d packets injecting", r, c, n)
+			}
+		}
+	}
+	if n := m.slots.Len(); n != 0 {
+		return fmt.Errorf("mesh: %d packets in flight", n)
+	}
+	return nil
+}
+
+// Reset implements noc.Resetter: restore the construction state in place,
+// keeping the message pool, packet pool, and grown queue capacity. Delivery
+// callbacks are left installed; a reusing System overwrites them via
+// SetDeliver.
+func (m *Mesh) Reset() {
+	for r := 0; r < m.n; r++ {
+		for d := dir(0); d < numDirs; d++ {
+			p := m.port(r, d)
+			p.busyUntil, p.wakeAt, p.wakeSet, p.rr = 0, 0, false, 0
+			for c := 0; c < numClasses; c++ {
+				p.q[c].Reset()
+				if d == dirEject {
+					p.credits[c] = m.cfg.RecvBuffer / numClasses
+				} else {
+					p.credits[c] = m.cfg.LinkBuffer
+				}
+			}
+		}
+	}
+	clear(m.injectCount)
+	m.slots.Reset()
+	m.stats = noc.Stats{}
+	m.LinkBusyCycles = 0
+}
 
 // Clusters implements noc.Network.
 func (m *Mesh) Clusters() int { return m.n }
@@ -322,14 +389,14 @@ func (m *Mesh) Hops(src, dst int) int {
 
 // Send implements noc.Network.
 func (m *Mesh) Send(msg *noc.Message) bool {
-	if err := noc.Validate(msg, m.n); err != nil {
-		panic(err)
+	if !noc.Valid(msg, m.n) {
+		panic(noc.Validate(msg, m.n))
 	}
 	if msg.Src == msg.Dst {
 		panic(fmt.Sprintf("mesh: message %d is cluster-local (src == dst == %d)", msg.ID, msg.Src))
 	}
 	cl := classOf(msg.Kind)
-	if m.injectCount[msg.Src][cl] >= m.cfg.InjectQueue {
+	if m.injectCount[msg.Src*numClasses+cl] >= m.cfg.InjectQueue {
 		return false
 	}
 	msg.Inject = m.k.Now()
@@ -338,9 +405,9 @@ func (m *Mesh) Send(msg *noc.Message) bool {
 	p.m = msg
 	p.class = cl
 	p.path = m.route(msg.Src, msg.Dst, p.path)
-	m.injectCount[msg.Src][cl]++
+	m.injectCount[msg.Src*numClasses+cl]++
 	first := p.path[0]
-	port := &m.ports[first.router][first.d]
+	port := m.port(first.router, first.d)
 	port.q[cl].Push(p)
 	m.tryGrant(first)
 	return true
@@ -351,7 +418,7 @@ func (m *Mesh) Send(msg *noc.Message) bool {
 func (m *Mesh) Consume(cluster int, msg *noc.Message) {
 	class := classOf(msg.Kind)
 	m.Release(msg)
-	port := &m.ports[cluster][dirEject]
+	port := m.port(cluster, dirEject)
 	port.credits[class]++
 	m.tryGrant(portRef{cluster, dirEject})
 }
@@ -364,21 +431,21 @@ func (m *Mesh) serialization(size int) sim.Time {
 // tryGrant attempts to start the next eligible packet on a port, observing
 // link occupancy, class round-robin, and downstream credits.
 func (m *Mesh) tryGrant(ref portRef) {
-	port := &m.ports[ref.router][ref.d]
+	port := m.port(ref.router, ref.d)
 	now := m.k.Now()
 	if port.busyUntil > now {
 		m.wake(ref, port.busyUntil)
 		return
 	}
 	// Round-robin over classes, skipping empty queues and exhausted credits.
+	cl := port.rr
 	for i := 0; i < numClasses; i++ {
-		cl := (port.rr + i) % numClasses
-		if port.q[cl].Empty() || port.credits[cl] == 0 {
-			continue
+		if !port.q[cl].Empty() && port.credits[cl] != 0 {
+			port.rr = (cl + 1) & (numClasses - 1)
+			m.grant(ref, port, port.q[cl].Pop())
+			return
 		}
-		port.rr = (cl + 1) % numClasses
-		m.grant(ref, port, port.q[cl].Pop())
-		return
+		cl = (cl + 1) & (numClasses - 1)
 	}
 }
 
@@ -386,7 +453,7 @@ func (m *Mesh) tryGrant(ref portRef) {
 // wake event compares the port's wakeAt against its own firing time, which
 // is exactly the `at` it was scheduled for.
 func (m *Mesh) wake(ref portRef, at sim.Time) {
-	port := &m.ports[ref.router][ref.d]
+	port := m.port(ref.router, ref.d)
 	if port.wakeSet && port.wakeAt <= at {
 		return
 	}

@@ -170,6 +170,32 @@ type Network interface {
 	Stats() Stats
 }
 
+// Quiescer is the optional interface of networks that can assert they hold
+// no in-flight state. The warmup-fork snapshot contract
+// (docs/DETERMINISM.md) requires the network to be untouched — no queued
+// messages, no outstanding credits, no arbitration in progress, no scheduled
+// events — at the fork barrier, so that a snapshot taken under one fabric
+// restores exactly into any other.
+type Quiescer interface {
+	// Quiescent returns nil when the network is in its pre-divergence
+	// (construction) state, and a descriptive error naming the first
+	// in-flight resource otherwise.
+	Quiescent() error
+}
+
+// Resetter is the optional interface of networks that can return to their
+// just-constructed state in place, retaining grown buffer capacity. The
+// sweep engine uses it to reuse one network (and its whole System) across
+// cells of a configuration instead of rebuilding, which must be
+// behaviourally indistinguishable from a fresh build — the repo's
+// byte-identical determinism contract extends to pooled reuse.
+type Resetter interface {
+	// Reset restores construction-time state: empty queues, full credit
+	// pools, zeroed statistics. Messages still held by the free-list pools
+	// stay pooled (capacity is the one thing reuse keeps).
+	Reset()
+}
+
 // Stats aggregates the counters every network implementation maintains.
 type Stats struct {
 	Messages      uint64
@@ -177,9 +203,24 @@ type Stats struct {
 	HopTraversals uint64 // mesh only: sum over messages of per-hop link uses
 }
 
+// Valid reports whether a message is internally consistent for a network of
+// n clusters. It inlines into the senders' injection hot paths; on failure
+// they call Validate for the descriptive error.
+func Valid(m *Message, n int) bool {
+	return m != nil && uint(m.Src) < uint(n) && uint(m.Dst) < uint(n) && m.Size > 0
+}
+
 // Validate checks a message for internal consistency against a network of n
-// clusters. Models call it at injection; it returns a descriptive error.
+// clusters, returning a descriptive error for invalid input.
 func Validate(m *Message, n int) error {
+	if !Valid(m, n) {
+		return validateError(m, n)
+	}
+	return nil
+}
+
+// validateError builds Validate's descriptive error off the hot path.
+func validateError(m *Message, n int) error {
 	if m == nil {
 		return fmt.Errorf("noc: nil message")
 	}
@@ -189,8 +230,5 @@ func Validate(m *Message, n int) error {
 	if m.Dst < 0 || m.Dst >= n {
 		return fmt.Errorf("noc: message %d destination %d out of range [0,%d)", m.ID, m.Dst, n)
 	}
-	if m.Size <= 0 {
-		return fmt.Errorf("noc: message %d has non-positive size %d", m.ID, m.Size)
-	}
-	return nil
+	return fmt.Errorf("noc: message %d has non-positive size %d", m.ID, m.Size)
 }

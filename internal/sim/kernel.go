@@ -8,13 +8,17 @@
 // deterministic for a given seed.
 //
 // The scheduler is a hierarchical time wheel (calendar queue) with an
-// overflow heap, dispatching from pooled intrusive event nodes: steady-state
-// scheduling allocates nothing and both Schedule and Step are O(1) for the
-// near-future events that dominate cycle-accurate models. Components on the
-// hot path use the typed ScheduleEvent/Handler fast path instead of closure
-// capture; Schedule(delay, func()) remains as the compatibility path. The
-// layout, the ordering guarantee, and the measured win over the former
-// container/heap kernel are documented in docs/PERFORMANCE.md.
+// overflow heap, dispatching from pooled event nodes held in one flat slice
+// and linked by index: steady-state scheduling allocates nothing, both
+// Schedule and Step are O(1) for the near-future events that dominate
+// cycle-accurate models, and the index links keep the bucket push/pop hot
+// path free of pointer write barriers. The flat layout is also what makes
+// Snapshot/Restore — the warmup-forking substrate (docs/DETERMINISM.md) — a
+// handful of slice copies. Components on the hot path use the typed
+// ScheduleEvent/Handler fast path instead of closure capture;
+// Schedule(delay, func()) remains as the compatibility path. The layout, the
+// ordering guarantee, and the measured win over the former container/heap
+// kernel are documented in docs/PERFORMANCE.md.
 package sim
 
 import (
@@ -61,13 +65,15 @@ type Handler interface {
 	OnEvent(now Time, data uint64)
 }
 
-// eventNode is one scheduled event. Nodes are intrusive (next links the
-// wheel's bucket FIFOs and the kernel free list) and pooled, so steady-state
-// scheduling performs no allocation. Exactly one of h and fn is set.
+// eventNode is one scheduled event. Nodes live in the kernel's flat node
+// slice and are linked by index (next threads the wheel's bucket FIFOs and
+// the free list), so steady-state scheduling performs no allocation and the
+// links carry no write barriers. Exactly one of h and fn is set on a live
+// node; index 0 is the shared nil sentinel.
 type eventNode struct {
 	when Time
 	seq  uint64
-	next *eventNode
+	next int32
 
 	h    Handler
 	data uint64
@@ -88,11 +94,11 @@ const (
 	span2 = Time(1) << (3 * wheelBits) // level-2 span: 256 buckets of 65536 cycles
 )
 
-// bucketList is a FIFO of event nodes: appended at tail on schedule and
-// cascade, drained from head on dispatch, so same-(when, seq) order is the
-// append order.
+// bucketList is a FIFO of event-node indices: appended at tail on schedule
+// and cascade, drained from head on dispatch, so same-(when, seq) order is
+// the append order. Index 0 means empty.
 type bucketList struct {
-	head, tail *eventNode
+	head, tail int32
 }
 
 // wheelLevel is one ring of buckets plus an occupancy bitmap used to find the
@@ -103,7 +109,7 @@ type wheelLevel struct {
 }
 
 // Kernel is a discrete-event scheduler. The zero value is not usable; create
-// one with NewKernel. A Kernel (including its node pool) is confined to one
+// one with NewKernel. A Kernel (including its node arena) is confined to one
 // goroutine; independent kernels on separate goroutines share nothing.
 type Kernel struct {
 	now     Time
@@ -119,19 +125,26 @@ type Kernel struct {
 	levels     [wheelLevels]wheelLevel
 	wheelCount int // events resident in the wheel levels
 	pending    int // wheelCount plus overflow heap residents
+	// cur0 is the level-0 occupancy scan cursor: every occ word below it is
+	// empty, so dispatch scans start there instead of at word zero. popNext
+	// raises it (events cannot be scheduled before the clock, which dispatch
+	// has advanced to the found bucket); it resets to zero whenever base moves.
+	cur0 int
 
 	// overflow holds events beyond the wheel's current 2^24-cycle horizon,
 	// ordered by (when, seq); it refills the wheel when dispatch rolls past
 	// the horizon.
-	overflow []*eventNode
+	overflow []int32
 
-	// free is the node pool: nodes released at dispatch, reused at schedule.
-	free *eventNode
+	// nodes is the flat event arena; nodes[0] is the nil sentinel. free heads
+	// the free list of released nodes, reused at schedule.
+	nodes []eventNode
+	free  int32
 }
 
 // NewKernel returns an empty kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{nodes: make([]eventNode, 1, 1024)}
 }
 
 // Now returns the current simulation time.
@@ -158,7 +171,8 @@ func (k *Kernel) At(t Time, fn func()) {
 	}
 	n := k.newNode()
 	k.seq++
-	n.when, n.seq, n.fn = t, k.seq, fn
+	nd := &k.nodes[n]
+	nd.when, nd.seq, nd.fn = t, k.seq, fn
 	k.enqueue(n)
 }
 
@@ -180,40 +194,50 @@ func (k *Kernel) AtEvent(t Time, h Handler, data uint64) {
 	}
 	n := k.newNode()
 	k.seq++
-	n.when, n.seq, n.h, n.data = t, k.seq, h, data
+	nd := &k.nodes[n]
+	nd.when, nd.seq, nd.h, nd.data = t, k.seq, h, data
 	k.enqueue(n)
 }
 
-func (k *Kernel) newNode() *eventNode {
-	if n := k.free; n != nil {
-		k.free = n.next
-		n.next = nil
+func (k *Kernel) newNode() int32 {
+	if n := k.free; n != 0 {
+		k.free = k.nodes[n].next
+		k.nodes[n].next = 0
 		return n
 	}
-	return &eventNode{}
+	k.nodes = append(k.nodes, eventNode{})
+	return int32(len(k.nodes) - 1)
 }
 
-func (k *Kernel) releaseNode(n *eventNode) {
-	n.h, n.fn, n.data = nil, nil, 0
-	n.next = k.free
+func (k *Kernel) releaseNode(n int32) {
+	nd := &k.nodes[n]
+	// Zeroed h/fn mark the node free (Snapshot's liveness test). fn is nil on
+	// the typed path, which is every hot-path event; the branch skips its
+	// pointer write barrier there.
+	nd.h, nd.data = nil, 0
+	if nd.fn != nil {
+		nd.fn = nil
+	}
+	nd.next = k.free
 	k.free = n
 }
 
 // enqueue files n into the wheel or the overflow heap.
-func (k *Kernel) enqueue(n *eventNode) {
+func (k *Kernel) enqueue(n int32) {
 	if k.pending == 0 {
 		// Empty kernel: snap the window back to the clock so a run that
 		// coasted far ahead (RunUntil past the last event) does not strand
 		// near-future work in the overflow heap.
 		k.base = k.now &^ (span0 - 1)
+		k.cur0 = 0
 	}
 	k.pending++
 	k.place(n)
 }
 
 // place files n by range: the lowest wheel level whose current span contains
-// n.when, else the overflow heap. Spans are aligned, which is what makes
-// bucket order dispatch order: a timestamp enters the wheel only at its
+// n's timestamp, else the overflow heap. Spans are aligned, which is what
+// makes bucket order dispatch order: a timestamp enters the wheel only at its
 // span's refill/cascade boundary or later, so every append lands behind all
 // earlier-scheduled events for the same cycle.
 //
@@ -221,30 +245,36 @@ func (k *Kernel) enqueue(n *eventNode) {
 // the clock and the next schedule lands in the gap) goes to the overflow
 // heap, which dispatch checks before the wheel; it cannot tie with a wheel
 // event, whose timestamps are all >= base.
-func (k *Kernel) place(n *eventNode) {
+func (k *Kernel) place(n int32) {
+	when := k.nodes[n].when
+	// Near-future events dominate; when-base underflows huge for when < base,
+	// so one unsigned compare selects level 0 and subsumes the below-window
+	// check.
+	if when-k.base < span0 {
+		k.pushBucket(0, int(when)&wheelMask, n)
+		return
+	}
 	switch {
-	case n.when < k.base:
+	case when < k.base:
 		k.heapPush(n)
-	case n.when < k.base+span0:
-		k.pushBucket(0, int(n.when)&wheelMask, n)
-	case n.when < (k.base&^(span1-1))+span1:
-		k.pushBucket(1, int(n.when>>wheelBits)&wheelMask, n)
-	case n.when < (k.base&^(span2-1))+span2:
-		k.pushBucket(2, int(n.when>>(2*wheelBits))&wheelMask, n)
+	case when < (k.base&^(span1-1))+span1:
+		k.pushBucket(1, int(when>>wheelBits)&wheelMask, n)
+	case when < (k.base&^(span2-1))+span2:
+		k.pushBucket(2, int(when>>(2*wheelBits))&wheelMask, n)
 	default:
 		k.heapPush(n)
 	}
 }
 
-func (k *Kernel) pushBucket(level, idx int, n *eventNode) {
+func (k *Kernel) pushBucket(level, idx int, n int32) {
 	k.wheelCount++
 	lv := &k.levels[level]
 	b := &lv.buckets[idx]
-	n.next = nil
-	if b.tail == nil {
+	k.nodes[n].next = 0
+	if b.tail == 0 {
 		b.head = n
 	} else {
-		b.tail.next = n
+		k.nodes[b.tail].next = n
 	}
 	b.tail = n
 	lv.occ[idx>>6] |= 1 << (idx & 63)
@@ -260,28 +290,44 @@ func firstSet(occ *[wheelSize / 64]uint64) (int, bool) {
 	return 0, false
 }
 
-// popNext removes and returns the earliest (when, seq) event, or nil.
-func (k *Kernel) popNext() *eventNode {
+// scan0 returns the lowest occupied level-0 bucket, starting the word scan at
+// the cursor (cur0's invariant makes the skipped words provably empty). It
+// does not move the cursor: only dispatch may, because only dispatch pins the
+// clock to the found bucket.
+func (k *Kernel) scan0() (int, bool) {
+	occ := &k.levels[0].occ
+	for w := k.cur0; w < len(occ); w++ {
+		if occ[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(occ[w]), true
+		}
+	}
+	return 0, false
+}
+
+// popNext removes and returns the earliest (when, seq) event's node index,
+// or 0.
+func (k *Kernel) popNext() int32 {
 	if k.pending == 0 {
-		return nil
+		return 0
 	}
 	for {
-		if len(k.overflow) > 0 && k.overflow[0].when < k.base {
+		if len(k.overflow) > 0 && k.nodes[k.overflow[0]].when < k.base {
 			k.pending--
 			return k.heapPop()
 		}
-		lv := &k.levels[0]
-		if idx, ok := firstSet(&lv.occ); ok {
+		if idx, ok := k.scan0(); ok {
+			k.cur0 = idx >> 6
+			lv := &k.levels[0]
 			b := &lv.buckets[idx]
 			n := b.head
-			b.head = n.next
-			if b.head == nil {
-				b.tail = nil
+			b.head = k.nodes[n].next
+			if b.head == 0 {
+				b.tail = 0
 				lv.occ[idx>>6] &^= 1 << (idx & 63)
 			}
 			k.wheelCount--
 			k.pending--
-			n.next = nil
+			k.nodes[n].next = 0
 			return n
 		}
 		k.advance()
@@ -295,10 +341,10 @@ func (k *Kernel) peek() (Time, bool) {
 		return 0, false
 	}
 	for {
-		if len(k.overflow) > 0 && k.overflow[0].when < k.base {
-			return k.overflow[0].when, true
+		if len(k.overflow) > 0 && k.nodes[k.overflow[0]].when < k.base {
+			return k.nodes[k.overflow[0]].when, true
 		}
-		if idx, ok := firstSet(&k.levels[0].occ); ok {
+		if idx, ok := k.scan0(); ok {
 			return k.base + Time(idx), true
 		}
 		k.advance()
@@ -311,14 +357,15 @@ func (k *Kernel) peek() (Time, bool) {
 // refilling the wheel's new 2^24-cycle horizon from it. Called only with
 // pending > 0 and level 0 empty.
 func (k *Kernel) advance() {
+	k.cur0 = 0 // base moves; the cascade/refill below may fill any word
 	if k.wheelCount == 0 {
 		// Rollover: every wheel event has dispatched, so the next span is
 		// wherever the heap minimum lives. Draining the heap in (when, seq)
 		// order seeds each bucket FIFO sorted; later direct schedules into
 		// these spans carry larger sequence numbers and append behind.
-		k.base = k.overflow[0].when &^ (span0 - 1)
+		k.base = k.nodes[k.overflow[0]].when &^ (span0 - 1)
 		limit := (k.base &^ (span2 - 1)) + span2
-		for len(k.overflow) > 0 && k.overflow[0].when < limit {
+		for len(k.overflow) > 0 && k.nodes[k.overflow[0]].when < limit {
 			k.place(k.heapPop())
 		}
 		return
@@ -342,10 +389,10 @@ func (k *Kernel) cascade(level, idx int) {
 	lv := &k.levels[level]
 	b := &lv.buckets[idx]
 	n := b.head
-	b.head, b.tail = nil, nil
+	b.head, b.tail = 0, 0
 	lv.occ[idx>>6] &^= 1 << (idx & 63)
-	for n != nil {
-		next := n.next
+	for n != 0 {
+		next := k.nodes[n].next
 		k.wheelCount--
 		k.place(n)
 		n = next
@@ -353,18 +400,19 @@ func (k *Kernel) cascade(level, idx int) {
 }
 
 // Overflow heap: a hand-rolled binary min-heap on (when, seq) over node
-// pointers, avoiding container/heap's interface boxing on the cold path too.
+// indices, avoiding container/heap's interface boxing on the cold path too.
 
-func nodeLess(a, b *eventNode) bool {
-	return a.when < b.when || (a.when == b.when && a.seq < b.seq)
+func (k *Kernel) nodeLess(a, b int32) bool {
+	na, nb := &k.nodes[a], &k.nodes[b]
+	return na.when < nb.when || (na.when == nb.when && na.seq < nb.seq)
 }
 
-func (k *Kernel) heapPush(n *eventNode) {
+func (k *Kernel) heapPush(n int32) {
 	h := append(k.overflow, n)
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if !nodeLess(h[i], h[p]) {
+		if !k.nodeLess(h[i], h[p]) {
 			break
 		}
 		h[i], h[p] = h[p], h[i]
@@ -373,12 +421,11 @@ func (k *Kernel) heapPush(n *eventNode) {
 	k.overflow = h
 }
 
-func (k *Kernel) heapPop() *eventNode {
+func (k *Kernel) heapPop() int32 {
 	h := k.overflow
 	n := h[0]
 	last := len(h) - 1
 	h[0] = h[last]
-	h[last] = nil
 	h = h[:last]
 	i := 0
 	for {
@@ -386,10 +433,10 @@ func (k *Kernel) heapPop() *eventNode {
 		if c >= len(h) {
 			break
 		}
-		if c+1 < len(h) && nodeLess(h[c+1], h[c]) {
+		if c+1 < len(h) && k.nodeLess(h[c+1], h[c]) {
 			c++
 		}
-		if !nodeLess(h[c], h[i]) {
+		if !k.nodeLess(h[c], h[i]) {
 			break
 		}
 		h[i], h[c] = h[c], h[i]
@@ -403,17 +450,20 @@ func (k *Kernel) heapPop() *eventNode {
 // if no events remain.
 func (k *Kernel) Step() bool {
 	n := k.popNext()
-	if n == nil {
+	if n == 0 {
 		return false
 	}
-	k.now = n.when
+	nd := &k.nodes[n]
+	k.now = nd.when
 	k.executed++
-	h, data, fn := n.h, n.data, n.fn
 	// Release before dispatch so the handler's own scheduling reuses the node.
-	k.releaseNode(n)
-	if h != nil {
+	if h := nd.h; h != nil {
+		data := nd.data
+		k.releaseNode(n)
 		h.OnEvent(k.now, data)
 	} else {
+		fn := nd.fn
+		k.releaseNode(n)
 		fn()
 	}
 	return true
@@ -439,6 +489,22 @@ func (k *Kernel) RunUntil(t Time) {
 	}
 	if k.now < t {
 		k.now = t
+	}
+}
+
+// RunBefore executes events with timestamps strictly less than t, leaving
+// the clock at the last dispatched event — unlike RunUntil it never coasts
+// the clock forward, so the kernel's state afterwards is exactly the state
+// an uninterrupted run passes through between two events. It is the
+// run-to-warmup-barrier primitive (docs/DETERMINISM.md).
+func (k *Kernel) RunBefore(t Time) {
+	k.stopped = false
+	for !k.stopped {
+		when, ok := k.peek()
+		if !ok || when >= t {
+			return
+		}
+		k.Step()
 	}
 }
 

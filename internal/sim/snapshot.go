@@ -1,0 +1,120 @@
+package sim
+
+import "fmt"
+
+// KernelSnapshot is a deep, self-contained copy of a Kernel's scheduler
+// state: clock, sequence counter, wheel levels, overflow heap, and the full
+// node arena with every pending event. It shares nothing mutable with the
+// kernel it was taken from, so one snapshot may be restored into many
+// kernels, concurrently, from different goroutines — the warmup-forking
+// substrate described in docs/DETERMINISM.md.
+//
+// Handler interface values in the snapshot still reference components of the
+// source simulation; Restore remaps them into the target's components.
+type KernelSnapshot struct {
+	now      Time
+	seq      uint64
+	executed uint64
+	base     Time
+
+	levels     [wheelLevels]wheelLevel
+	wheelCount int
+	pending    int
+	overflow   []int32
+	nodes      []eventNode
+	free       int32
+}
+
+// Now returns the snapshot's simulation clock.
+func (s *KernelSnapshot) Now() Time { return s.now }
+
+// Pending returns the number of scheduled events captured in the snapshot.
+func (s *KernelSnapshot) Pending() int { return s.pending }
+
+// Snapshot deep-copies the kernel's state. Closure events (the Schedule/At
+// path) cannot be restored into another simulation — a captured closure pins
+// the source's components — so any pending closure is an error; hot-path
+// components all use the typed Handler path. accept, when non-nil, vets each
+// pending event's handler (reject handlers Restore won't know how to remap);
+// returning false fails the snapshot with a descriptive error.
+func (k *Kernel) Snapshot(accept func(Handler) bool) (*KernelSnapshot, error) {
+	s := &KernelSnapshot{
+		now:        k.now,
+		seq:        k.seq,
+		executed:   k.executed,
+		base:       k.base,
+		levels:     k.levels,
+		wheelCount: k.wheelCount,
+		pending:    k.pending,
+		overflow:   append([]int32(nil), k.overflow...),
+		nodes:      append([]eventNode(nil), k.nodes...),
+		free:       k.free,
+	}
+	// Free-list nodes are zeroed at release, so every node with h or fn set
+	// is a live pending event.
+	for i := 1; i < len(s.nodes); i++ {
+		nd := &s.nodes[i]
+		if nd.fn != nil {
+			return nil, fmt.Errorf("sim: snapshot: pending closure event at t=%d cannot be restored; schedule restorable work via the typed Handler path", nd.when)
+		}
+		if nd.h != nil && accept != nil && !accept(nd.h) {
+			return nil, fmt.Errorf("sim: snapshot: pending %T event at t=%d is not restorable", nd.h, nd.when)
+		}
+	}
+	return s, nil
+}
+
+// Restore overwrites k with snap's state, reusing k's storage capacity. remap
+// translates each pending event's handler into the restoring simulation's
+// components; nil remap keeps handlers as-is (restoring into the same
+// component set). A remap returning nil fails the restore, and k is left
+// Reset (empty but valid) rather than half-loaded. snap is only read, never
+// written, so concurrent restores from one shared snapshot are safe.
+func (k *Kernel) Restore(snap *KernelSnapshot, remap func(Handler) Handler) error {
+	if len(k.nodes) > len(snap.nodes) {
+		clear(k.nodes[len(snap.nodes):])
+	}
+	k.nodes = append(k.nodes[:0], snap.nodes...)
+	if remap != nil {
+		for i := 1; i < len(k.nodes); i++ {
+			h := k.nodes[i].h
+			if h == nil {
+				continue
+			}
+			nh := remap(h)
+			if nh == nil {
+				when := k.nodes[i].when
+				k.Reset()
+				return fmt.Errorf("sim: restore: no mapping for pending %T event at t=%d", h, when)
+			}
+			k.nodes[i].h = nh
+		}
+	}
+	k.now, k.seq, k.executed, k.base = snap.now, snap.seq, snap.executed, snap.base
+	k.stopped = false
+	k.levels = snap.levels
+	k.cur0 = 0 // scan accelerator, not snapshot state; zero is always valid
+	k.wheelCount, k.pending = snap.wheelCount, snap.pending
+	k.overflow = append(k.overflow[:0], snap.overflow...)
+	k.free = snap.free
+	return nil
+}
+
+// Reset returns the kernel to its just-constructed state — time zero, no
+// events — retaining grown node-arena and heap capacity so a pooled kernel's
+// next run schedules without allocating.
+func (k *Kernel) Reset() {
+	k.now, k.seq, k.executed, k.base = 0, 0, 0, 0
+	k.stopped = false
+	k.levels = [wheelLevels]wheelLevel{}
+	k.cur0 = 0
+	k.wheelCount, k.pending = 0, 0
+	k.overflow = k.overflow[:0]
+	if len(k.nodes) == 0 {
+		k.nodes = make([]eventNode, 1, 1024)
+		return
+	}
+	clear(k.nodes[:cap(k.nodes)])
+	k.nodes = k.nodes[:1]
+	k.free = 0
+}

@@ -176,6 +176,55 @@ func New(k *sim.Kernel, cfg Config) *Crossbar {
 // Name implements noc.Network.
 func (x *Crossbar) Name() string { return "swmr" }
 
+// Quiescent implements noc.Quiescer: nil only when the crossbar is in its
+// construction state — empty source FIFOs, full credit pools, no waiting
+// sources, no in-flight deliveries, and (when tuned) a virgin receiver
+// arbiter.
+func (x *Crossbar) Quiescent() error {
+	for src := range x.queues {
+		q := &x.queues[src]
+		if !q.msgs.Empty() || q.active {
+			return fmt.Errorf("swmr: source %d queue busy (%d queued, active=%v)", src, q.msgs.Len(), q.active)
+		}
+	}
+	for d := range x.credits {
+		if x.credits[d] != x.cfg.RecvBuffer {
+			return fmt.Errorf("swmr: cluster %d holds %d/%d credits", d, x.credits[d], x.cfg.RecvBuffer)
+		}
+		if !x.creditWait[d].Empty() {
+			return fmt.Errorf("swmr: cluster %d has %d sources waiting on credits", d, x.creditWait[d].Len())
+		}
+	}
+	if n := x.slots.Len(); n != 0 {
+		return fmt.Errorf("swmr: %d messages in flight", n)
+	}
+	if x.arb != nil {
+		return x.arb.Quiescent()
+	}
+	return nil
+}
+
+// Reset implements noc.Resetter: restore the construction state in place,
+// keeping the message pool and grown queue capacity. Delivery callbacks are
+// left installed; a reusing System overwrites them via SetDeliver.
+func (x *Crossbar) Reset() {
+	for src := range x.queues {
+		q := &x.queues[src]
+		q.msgs.Reset()
+		q.active = false
+	}
+	for d := range x.credits {
+		x.credits[d] = x.cfg.RecvBuffer
+		x.creditWait[d].Reset()
+	}
+	x.slots.Reset()
+	if x.arb != nil {
+		x.arb.Reset()
+	}
+	x.stats = noc.Stats{}
+	x.BusyCycles = 0
+}
+
 // Clusters implements noc.Network.
 func (x *Crossbar) Clusters() int { return x.cfg.Clusters }
 
@@ -190,8 +239,8 @@ func (x *Crossbar) SetDeliver(cluster int, fn noc.DeliverFunc) {
 // Send implements noc.Network: enqueue on the source's channel FIFO.
 // Cluster-local traffic never enters the optics, so src == dst panics.
 func (x *Crossbar) Send(m *noc.Message) bool {
-	if err := noc.Validate(m, x.cfg.Clusters); err != nil {
-		panic(err)
+	if !noc.Valid(m, x.cfg.Clusters) {
+		panic(noc.Validate(m, x.cfg.Clusters))
 	}
 	if m.Src == m.Dst {
 		panic(fmt.Sprintf("swmr: message %d is cluster-local (src == dst == %d)", m.ID, m.Src))
