@@ -8,24 +8,35 @@
 //
 //	corona-serve [-addr HOST:PORT] [-workers W] [-cache DIR]
 //	             [-queue N] [-runners R] [-drain DUR]
+//	             [-store DIR] [-log text|json]
 //
 // API (see docs/API.md for a curl walkthrough):
 //
 //	POST   /v1/jobs              submit a scenario JSON (the corona-sweep
-//	                             -config schema); returns the job id
+//	                             -config schema, plus an optional "timeout"
+//	                             duration); returns the job id
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         status and progress
 //	GET    /v1/jobs/{id}/results NDJSON stream of cells as they complete
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/fabrics           registered interconnect catalog
-//	GET    /healthz              liveness
+//	GET    /healthz              liveness, queue depth, store state
 //
-// Jobs wait in a bounded queue (-queue; full queue = 503) and run -runners
-// at a time, each fanning its cells over a -workers pool; -cache shares one
-// on-disk result cache across all jobs, so resubmitted or overlapping
-// scenarios only simulate cells they have not seen. SIGINT/SIGTERM trigger
-// a graceful shutdown: stop accepting, cancel running jobs (completed cells
-// stay cached), drain for up to -drain, exit 0.
+// Jobs wait in a bounded queue (-queue; full queue = 503 with a Retry-After
+// hint) and run -runners at a time, each fanning its cells over a -workers
+// pool; -cache shares one on-disk result cache across all jobs, so
+// resubmitted or overlapping scenarios only simulate cells they have not
+// seen. With -store, every submission, completed cell, and terminal status
+// is journaled to the directory, and a restarted daemon resumes interrupted
+// jobs from exactly the cells it had durably recorded (see
+// docs/OPERATIONS.md). SIGINT/SIGTERM trigger a graceful shutdown: stop
+// accepting, cancel running jobs (completed cells stay cached and
+// journaled), drain for up to -drain, exit 0 — journaled jobs interrupted
+// this way resume on the next start.
+//
+// The CORONA_FAULTS environment variable arms the fault-injection points
+// (internal/faultinject spec syntax) for chaos drills against a live
+// daemon; leave it unset in production.
 package main
 
 import (
@@ -33,6 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -40,7 +52,9 @@ import (
 	"time"
 
 	"corona/internal/core"
+	"corona/internal/faultinject"
 	"corona/internal/server"
+	"corona/internal/store"
 )
 
 func main() { os.Exit(run()) }
@@ -52,7 +66,39 @@ func run() int {
 	queue := flag.Int("queue", 16, "bounded job queue depth; submissions beyond it get 503")
 	runners := flag.Int("runners", 1, "jobs executed concurrently")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	storeDir := flag.String("store", "", "durable job journal directory; restarts resume interrupted jobs (empty = in-memory only)")
+	logFormat := flag.String("log", "text", "log format: text or json")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "corona-serve: -log %q: want text or json\n", *logFormat)
+		return 2
+	}
+	log := slog.New(handler)
+
+	if spec := os.Getenv("CORONA_FAULTS"); spec != "" {
+		if err := faultinject.Arm(spec); err != nil {
+			log.Error("bad CORONA_FAULTS spec", "spec", spec, "err", err)
+			return 2
+		}
+		log.Warn("fault injection armed — this daemon WILL fail on purpose", "spec", spec)
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, store.Options{Logger: log}); err != nil {
+			log.Error("opening job store", "dir", *storeDir, "err", err)
+			return 1
+		}
+		defer st.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -61,33 +107,36 @@ func run() int {
 		Client:     core.NewClient(core.WithWorkers(*workers), core.WithCacheDir(*cacheDir)),
 		QueueDepth: *queue,
 		Runners:    *runners,
+		Store:      st,
+		Logger:     log,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "corona-serve: listening on http://%s (queue %d, %d runner(s))\n",
-		*addr, *queue, *runners)
+	log.Info("listening", "addr", "http://"+*addr, "queue", *queue,
+		"runners", *runners, "store", *storeDir)
 
 	select {
 	case err := <-errc:
 		// ListenAndServe only returns on failure here (Shutdown happens on
 		// the signal path below).
-		fmt.Fprintf(os.Stderr, "corona-serve: %v\n", err)
+		log.Error("serving", "err", err)
 		srv.Close()
 		return 1
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
-	fmt.Fprintf(os.Stderr, "corona-serve: shutting down — canceling jobs, draining for up to %v\n", *drain)
+	log.Info("shutting down", "drain", *drain)
 
 	// Cancel jobs first so live NDJSON streams reach their terminal state,
-	// then let the HTTP server drain those connections.
+	// then let the HTTP server drain those connections. Journaled jobs
+	// interrupted here keep no terminal status and resume on the next start.
 	srv.Close()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "corona-serve: shutdown: %v\n", err)
+		log.Error("shutdown", "err", err)
 		return 1
 	}
 	return 0

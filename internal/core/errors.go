@@ -44,3 +44,19 @@ func (e *CanceledError) Error() string {
 }
 
 func (e *CanceledError) Unwrap() error { return e.Err }
+
+// PanicError reports a panic captured inside one sweep cell's simulation.
+// The engine converts cell panics into this error instead of letting them
+// unwind the worker pool: the panicking cell fails its own sweep (Run
+// returns the PanicError), while the process — and, behind corona-serve,
+// every sibling job — keeps running. Stack is the panicking goroutine's
+// stack as captured at recovery, for the log line; Error keeps to the
+// panic value so status payloads stay small.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: cell panicked: %v", e.Value)
+}

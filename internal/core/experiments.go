@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"corona/internal/config"
+	"corona/internal/faultinject"
 	"corona/internal/noc"
 	"corona/internal/splash"
 	"corona/internal/stats"
@@ -88,11 +90,12 @@ type CellResult struct {
 
 // runConfig collects the sweep-execution options.
 type runConfig struct {
-	workers  int
-	cacheDir string
-	progress func(Progress)
-	onCell   func(CellResult)
-	noWarmup bool
+	workers     int
+	cacheDir    string
+	progress    func(Progress)
+	onCell      func(CellResult)
+	noWarmup    bool
+	precomputed map[int]Result
 }
 
 // Option configures one Sweep.Run invocation.
@@ -121,6 +124,17 @@ func OnProgress(fn func(Progress)) Option { return func(rc *runConfig) { rc.prog
 // either way (the differential fork-equivalence suite pins this); Warmup(false)
 // is the reference path that byte-identity is asserted against.
 func Warmup(on bool) Option { return func(rc *runConfig) { rc.noWarmup = !on } }
+
+// Precomputed seeds the run with cells that are already known, keyed by
+// linear index (Row*len(Configs)+Col). Those cells skip simulation entirely
+// and surface through Results/OnProgress/onCell with Cached=true, exactly
+// like an on-disk cache hit — the resume path corona-serve uses to re-run
+// only the cells a crashed campaign had not durably recorded. Deterministic
+// seeding (CellSeed) guarantees the freshly simulated remainder is
+// byte-identical to what an uninterrupted run would have produced.
+func Precomputed(cells map[int]Result) Option {
+	return func(rc *runConfig) { rc.precomputed = cells }
+}
 
 // onCell registers the streaming-consumer callback (Job.Results). Like
 // OnProgress it is serialized by the engine; unlike OnProgress it carries
@@ -280,6 +294,23 @@ func (s *Sweep) warmupSnap(sys *System, name string, row *rowStreams, buckets []
 	return ws.snap, dirty
 }
 
+// runCellSafe wraps runCell in a panic barrier and the chaos suite's cell
+// fault point. A panic anywhere in the cell's simulation — a model bug, a
+// corrupt snapshot, an injected fault — becomes a *PanicError that fails
+// this sweep only: the worker pool, the process, and (behind corona-serve)
+// every other job keep running.
+func (s *Sweep) runCellSafe(ctx context.Context, cfg config.System, spec traffic.Spec, row *rowStreams, seed uint64, pool *systemPool, col int, noWarmup bool) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if err := faultinject.Fire("core.cell.run"); err != nil {
+		return Result{}, err
+	}
+	return s.runCell(ctx, cfg, spec, row, seed, pool, col, noWarmup)
+}
+
 // runCell simulates one sweep cell by replaying the row's shared stream on a
 // pooled (or freshly built) machine. With warmup on, the cell forks from its
 // structural group's shared barrier snapshot instead of replaying the
@@ -364,10 +395,13 @@ func (s *Sweep) Run(ctx context.Context, opts ...Option) error {
 		defer rows[w].release()
 		cfg, spec := s.Configs[c], s.Workloads[w]
 		seed := CellSeed(s.Seed, spec.Name)
-		res, cached := cache.load(cfg, spec, s.Requests, seed)
+		res, cached := rc.precomputed[i]
+		if !cached {
+			res, cached = cache.load(cfg, spec, s.Requests, seed)
+		}
 		if !cached {
 			var err error
-			res, err = s.runCell(runCtx, cfg, spec, rows[w], seed, pool, c, rc.noWarmup)
+			res, err = s.runCellSafe(runCtx, cfg, spec, rows[w], seed, pool, c, rc.noWarmup)
 			if err != nil {
 				mu.Lock()
 				// Cancellations are either the outer ctx (reported below) or

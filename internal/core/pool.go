@@ -5,9 +5,11 @@ import (
 	"errors"
 	"hash/fnv"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"corona/internal/config"
+	"corona/internal/faultinject"
 	"corona/internal/traffic"
 )
 
@@ -135,7 +137,7 @@ func RunCells(ctx context.Context, cells []Cell, workers int) ([]Result, error) 
 	)
 	NewPool(workers).Run(runCtx, len(cells), func(i int) {
 		cl := cells[i]
-		res, err := Run(runCtx, cl.Config, cl.Spec, cl.Requests, cl.Seed)
+		res, err := runCellContained(runCtx, cl)
 		if err != nil {
 			mu.Lock()
 			// A cancellation here is either the outer ctx (reported below) or
@@ -159,6 +161,22 @@ func RunCells(ctx context.Context, cells []Cell, workers int) ([]Result, error) 
 		return nil, &CanceledError{Completed: done, Total: len(cells), Err: err}
 	}
 	return out, nil
+}
+
+// runCellContained runs one independent cell behind a panic barrier, so a
+// panicking simulation fails its own RunCells call (as a *PanicError) rather
+// than unwinding the worker pool and the process. Sweep.Run has the same
+// barrier in runCellSafe.
+func runCellContained(ctx context.Context, cl Cell) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if err := faultinject.Fire("core.cell.run"); err != nil {
+		return Result{}, err
+	}
+	return Run(ctx, cl.Config, cl.Spec, cl.Requests, cl.Seed)
 }
 
 // isCanceled reports whether err is a context cancellation or deadline,

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"corona/internal/config"
+	"corona/internal/faultinject"
+	"corona/internal/traffic"
+)
+
+// tinyMatrix is a 2-config x 2-workload matrix for the containment tests.
+func tinyMatrix(requests int, seed uint64) *Sweep {
+	return NewMatrixSweep(config.Combos()[:2],
+		[]traffic.Spec{quickSpec(1), quickSpec(2)}, requests, seed)
+}
+
+// TestCellPanicFailsSweepNotProcess arms the cell fault point in panic mode
+// and asserts the panic surfaces as Sweep.Run's *PanicError — not as an
+// unwound goroutine — and that the engine works normally afterwards.
+func TestCellPanicFailsSweepNotProcess(t *testing.T) {
+	defer faultinject.Disarm()
+	if err := faultinject.Arm("core.cell.run:panic@1"); err != nil {
+		t.Fatal(err)
+	}
+	s := tinyMatrix(200, 7)
+	err := s.Run(context.Background(), Workers(2))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Sweep.Run = %v, want *PanicError", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+	faultinject.Disarm()
+
+	// The same process serves the next sweep untouched.
+	s2 := tinyMatrix(200, 7)
+	mustSweep(t, s2, Workers(2))
+	if s2.Results[0][0].Cycles == 0 {
+		t.Fatal("sweep after contained panic produced empty results")
+	}
+}
+
+// TestCellFaultErrorFailsSweep is the error-mode twin: an injected cell
+// error fails the sweep with the fault, not a cancellation.
+func TestCellFaultErrorFailsSweep(t *testing.T) {
+	defer faultinject.Disarm()
+	if err := faultinject.Arm("core.cell.run:error@2"); err != nil {
+		t.Fatal(err)
+	}
+	err := tinyMatrix(200, 7).Run(context.Background(), Workers(1))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Sweep.Run = %v, want the injected fault", err)
+	}
+}
+
+// TestRunCellsPanicContained covers the RunCells path (Client.Compare) with
+// the same barrier.
+func TestRunCellsPanicContained(t *testing.T) {
+	defer faultinject.Disarm()
+	if err := faultinject.Arm("core.cell.run:panic@1"); err != nil {
+		t.Fatal(err)
+	}
+	cells := []Cell{
+		{Config: config.Corona(), Spec: quickSpec(1), Requests: 200, Seed: 3},
+		{Config: config.Corona(), Spec: quickSpec(1), Requests: 200, Seed: 4},
+	}
+	_, err := RunCells(context.Background(), cells, 2)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("RunCells = %v, want *PanicError", err)
+	}
+}
+
+// TestPrecomputedCellsSkipSimulation seeds a sweep with one already-known
+// cell and asserts it surfaces verbatim (marked cached), while the rest
+// simulate to exactly what an unseeded run produces — the property the
+// server's restart-resume path is built on.
+func TestPrecomputedCellsSkipSimulation(t *testing.T) {
+	ref := tinyMatrix(300, 9)
+	mustSweep(t, ref, Workers(1))
+
+	// A sentinel result that simulation could never produce.
+	fake := Result{Config: "sentinel", Workload: "sentinel", Requests: -1, Cycles: 123456789}
+	resumed := tinyMatrix(300, 9)
+	var cells []CellResult
+	mustSweep(t, resumed, Workers(2), Precomputed(map[int]Result{1: fake}),
+		onCell(func(c CellResult) { cells = append(cells, c) }))
+
+	for w := range ref.Results {
+		for c := range ref.Results[w] {
+			idx := w*len(ref.Configs) + c
+			if idx == 1 {
+				if resumed.Results[w][c] != fake {
+					t.Fatalf("precomputed cell %d = %+v, want the seeded sentinel", idx, resumed.Results[w][c])
+				}
+				continue
+			}
+			if resumed.Results[w][c] != ref.Results[w][c] {
+				t.Fatalf("cell %d differs from the unseeded run:\n%+v\nvs\n%+v",
+					idx, resumed.Results[w][c], ref.Results[w][c])
+			}
+		}
+	}
+	for _, cell := range cells {
+		if cell.Index == 1 && !cell.Cached {
+			t.Error("precomputed cell streamed with Cached=false")
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
@@ -79,7 +80,11 @@ func (c *resultCache) path(fingerprint string) string {
 	return filepath.Join(c.dir, "cell-"+hex.EncodeToString(h[:12])+".json")
 }
 
-// load returns the cached result for the cell, if a valid entry exists.
+// load returns the cached result for the cell, if a valid entry exists. A
+// corrupted or truncated entry — a torn write from a killed process, disk
+// rot, a stray editor — is treated as a miss and evicted so it cannot keep
+// costing a failed parse on every sweep; it can never fail the sweep
+// itself, which simply re-simulates the cell and rewrites the entry.
 func (c *resultCache) load(cfg config.System, spec traffic.Spec, requests int, seed uint64) (Result, bool) {
 	if c == nil {
 		return Result{}, false
@@ -88,12 +93,20 @@ func (c *resultCache) load(cfg config.System, spec traffic.Spec, requests int, s
 	if !ok {
 		return Result{}, false
 	}
-	raw, err := os.ReadFile(c.path(fp))
+	path := c.path(fp)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return Result{}, false
 	}
 	var e cacheEntry
-	if json.Unmarshal(raw, &e) != nil || e.Schema != cacheSchema || e.Fingerprint != fp {
+	if err := json.Unmarshal(raw, &e); err != nil {
+		os.Remove(path)
+		slog.Warn("core: evicting corrupted sweep-cache entry",
+			"path", path, "bytes", len(raw), "err", err)
+		return Result{}, false
+	}
+	if e.Schema != cacheSchema || e.Fingerprint != fp {
+		// Structurally valid but stale or hash-colliding: an ordinary miss.
 		return Result{}, false
 	}
 	return e.Result, true

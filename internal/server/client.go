@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"corona/internal/core"
+)
+
+// Client is a corona-serve API client with the retry discipline the daemon's
+// backpressure is designed for: a 503 (queue full, shutting down) is retried
+// with jittered exponential backoff, honoring the server's Retry-After hint
+// as a floor, while 4xx responses — the caller's mistake — surface
+// immediately. The jitter is deterministic in the client's seed, so tests
+// (and reproductions of production retry storms) replay exactly.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	baseDly time.Duration
+	maxDly  time.Duration
+	seed    uint64
+	sleep   func(ctx context.Context, d time.Duration) error
+}
+
+// ClientOption configures a NewClient call.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (default
+// http.DefaultClient).
+func WithHTTPClient(hc *http.Client) ClientOption { return func(c *Client) { c.hc = hc } }
+
+// WithRetries bounds how many times a 503 is retried before giving up
+// (default 5; 0 disables retrying).
+func WithRetries(n int) ClientOption { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the exponential backoff envelope: attempt k waits a
+// jittered min(max, base<<k). Defaults: 250ms base, 10s max.
+func WithBackoff(base, max time.Duration) ClientOption {
+	return func(c *Client) { c.baseDly, c.maxDly = base, max }
+}
+
+// WithRetrySeed seeds the jitter sequence; the same seed replays the same
+// delays. Default 1.
+func WithRetrySeed(seed uint64) ClientOption { return func(c *Client) { c.seed = seed } }
+
+// withSleep substitutes the delay primitive so tests observe backoff
+// decisions without waiting them out.
+func withSleep(f func(context.Context, time.Duration) error) ClientOption {
+	return func(c *Client) { c.sleep = f }
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8047").
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:    baseURL,
+		hc:      http.DefaultClient,
+		retries: 5,
+		baseDly: 250 * time.Millisecond,
+		maxDly:  10 * time.Second,
+		seed:    1,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.sleep == nil {
+		c.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return c
+}
+
+// APIError is a non-2xx response that was not retried away: the status code
+// plus the server's error message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Status, e.Message)
+}
+
+// splitmix64 is the same deterministic mixer the fault injector uses; here
+// it derives per-attempt jitter from (seed, attempt).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// backoff computes the delay before retry `attempt` (0-based): an
+// exponential envelope min(maxDly, baseDly<<attempt), jittered into
+// [50%, 100%) so a fleet of clients rejected together does not return
+// together, then floored at the server's Retry-After hint.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.baseDly << attempt
+	if d <= 0 || d > c.maxDly {
+		d = c.maxDly
+	}
+	frac := float64(splitmix64(c.seed^uint64(attempt))>>11) / float64(1<<53)
+	d = time.Duration(float64(d) * (0.5 + 0.5*frac))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// retryAfter parses the response's Retry-After header (seconds form), 0 when
+// absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// do issues one request, retrying 503s with backoff. body may be nil; it is
+// re-sent from the buffer on every attempt. The caller owns the returned
+// response body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= c.retries {
+			return resp, nil
+		}
+		hint := retryAfter(resp)
+		resp.Body.Close()
+		if err := c.sleep(ctx, c.backoff(attempt, hint)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// decode reads the response, mapping non-2xx to *APIError and 2xx JSON into
+// out (when non-nil).
+func decode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(raw, &e) != nil || e.Error == "" {
+			e.Error = string(bytes.TrimSpace(raw))
+		}
+		return &APIError{Status: resp.StatusCode, Message: e.Error}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a scenario (the corona-sweep -config JSON, plus the optional
+// "timeout" field) and returns the accepted job, retrying queue-full 503s.
+func (c *Client) Submit(ctx context.Context, scenario []byte) (JobView, error) {
+	var v JobView
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", scenario)
+	if err != nil {
+		return v, err
+	}
+	return v, decode(resp, &v)
+}
+
+// Status fetches the job's current view.
+func (c *Client) Status(ctx context.Context, id string) (JobView, error) {
+	var v JobView
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return v, err
+	}
+	return v, decode(resp, &v)
+}
+
+// Cancel asks the daemon to stop the job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobView, error) {
+	var v JobView
+	resp, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return v, err
+	}
+	return v, decode(resp, &v)
+}
+
+// Results streams the job's NDJSON results to completion and returns every
+// cell, following the job live until it reaches a terminal state.
+func (c *Client) Results(ctx context.Context, id string) ([]core.CellResult, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decode(resp, nil)
+	}
+	defer resp.Body.Close()
+	var cells []core.CellResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var cell core.CellResult
+		if err := json.Unmarshal(sc.Bytes(), &cell); err != nil {
+			return cells, fmt.Errorf("server: bad NDJSON line: %w", err)
+		}
+		cells = append(cells, cell)
+	}
+	return cells, sc.Err()
+}
+
+// Wait polls the job until it reaches a terminal state and returns the final
+// view. A job that ends anywhere but "done" is also reported as an *APIError
+// wrapping its status and error detail, so callers can treat "completed
+// successfully" as the nil-error path.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobView, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		v, err := c.Status(ctx, id)
+		if err != nil {
+			return v, err
+		}
+		switch v.Status {
+		case statusDone:
+			return v, nil
+		case statusFailed, statusCanceled, statusTimedOut:
+			return v, &APIError{Status: http.StatusOK,
+				Message: fmt.Sprintf("job %s ended %s: %s", id, v.Status, v.Error)}
+		}
+		if err := c.sleep(ctx, poll); err != nil {
+			return v, err
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordedSleeps swaps the client's delay primitive for a recorder, so
+// backoff decisions are observable without waiting them out.
+func recordedSleeps(delays *[]time.Duration) ClientOption {
+	return withSleep(func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	})
+}
+
+// TestClientRetries503HonoringRetryAfter bounces the first two submissions
+// with 503 + Retry-After and accepts the third: the client must succeed,
+// having backed off twice with at least the server's hint.
+func TestClientRetries503HonoringRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id": "job-000001", "status": "queued", "total": 2}`))
+	}))
+	defer ts.Close()
+	var delays []time.Duration
+	c := NewClient(ts.URL, recordedSleeps(&delays))
+	v, err := c.Submit(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != "job-000001" || calls.Load() != 3 {
+		t.Fatalf("view %+v after %d calls", v, calls.Load())
+	}
+	if len(delays) != 2 {
+		t.Fatalf("backed off %d times, want 2", len(delays))
+	}
+	for i, d := range delays {
+		if d < 3*time.Second {
+			t.Errorf("delay %d = %v, want >= the 3s Retry-After floor", i, d)
+		}
+	}
+}
+
+// TestClientBackoffDeterministicJitter pins the jitter contract: delays grow
+// with the exponential envelope, stay within [50%, 100%] of it, and replay
+// exactly for a given seed.
+func TestClientBackoffDeterministicJitter(t *testing.T) {
+	a := NewClient("http://x", WithRetrySeed(9), WithBackoff(100*time.Millisecond, 2*time.Second))
+	b := NewClient("http://x", WithRetrySeed(9), WithBackoff(100*time.Millisecond, 2*time.Second))
+	for attempt := 0; attempt < 8; attempt++ {
+		da, db := a.backoff(attempt, 0), b.backoff(attempt, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %v vs %v", attempt, da, db)
+		}
+		env := 100 * time.Millisecond << attempt
+		if env <= 0 || env > 2*time.Second {
+			env = 2 * time.Second
+		}
+		if da < env/2 || da > env {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, da, env/2, env)
+		}
+	}
+	// And Retry-After floors whatever the envelope said.
+	if d := a.backoff(0, 7*time.Second); d != 7*time.Second {
+		t.Errorf("floored delay = %v, want 7s", d)
+	}
+}
+
+// TestClientSurfaces4xxImmediately asserts a 400 is the caller's problem —
+// no retries, an *APIError with the server's message.
+func TestClientSurfaces4xxImmediately(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusBadRequest, "scenario: no configs")
+	}))
+	defer ts.Close()
+	var delays []time.Duration
+	c := NewClient(ts.URL, recordedSleeps(&delays))
+	_, err := c.Submit(context.Background(), []byte(`{}`))
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest || ae.Message != "scenario: no configs" {
+		t.Fatalf("Submit = %v, want the 400 APIError", err)
+	}
+	if calls.Load() != 1 || len(delays) != 0 {
+		t.Fatalf("%d calls, %d backoffs; want one call, no retries", calls.Load(), len(delays))
+	}
+}
+
+// TestClientRetriesExhaust gives up after the configured retry budget with
+// the final 503 surfaced.
+func TestClientRetriesExhaust(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		writeUnavailable(w, 1, "job queue full; retry later")
+	}))
+	defer ts.Close()
+	var delays []time.Duration
+	c := NewClient(ts.URL, WithRetries(3), recordedSleeps(&delays))
+	_, err := c.Submit(context.Background(), []byte(`{}`))
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("Submit = %v, want the exhausted 503", err)
+	}
+	if calls.Load() != 4 || len(delays) != 3 {
+		t.Fatalf("%d calls, %d backoffs; want 4 and 3", calls.Load(), len(delays))
+	}
+}
+
+// TestClientEndToEnd drives a real daemon through the client: submit, wait,
+// stream results, and cancel-of-unknown as the error path.
+func TestClientEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+	v, err := c.Submit(ctx, []byte(tinyScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, v.ID, 5*time.Millisecond)
+	if err != nil || final.Status != statusDone {
+		t.Fatalf("Wait = %+v, %v", final, err)
+	}
+	cells, err := c.Results(ctx, v.ID)
+	if err != nil || len(cells) != 2 {
+		t.Fatalf("Results = %d cells, %v; want 2", len(cells), err)
+	}
+	for _, cell := range cells {
+		if cell.Result.Cycles == 0 {
+			t.Errorf("streamed cell %+v has no result", cell)
+		}
+	}
+	if _, err := c.Status(ctx, "job-999999"); err == nil {
+		t.Error("Status of an unknown job did not error")
+	}
+	if _, err := c.Cancel(ctx, "job-999999"); err == nil {
+		t.Error("Cancel of an unknown job did not error")
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"corona/internal/core"
+	"corona/internal/faultinject"
+)
+
+// TestJobTimeoutLandsTimedOut submits a multi-million-request job with a
+// tight wall-clock deadline and asserts it terminates as "timed_out" — not
+// "canceled", not "failed" — with the deadline in the error detail.
+func TestJobTimeoutLandsTimedOut(t *testing.T) {
+	slow := `{"configs": [{"preset": "XBar/OCM"}], "workloads": ["Uniform"],
+		"requests": 2000000, "seed": 1, "timeout": "100ms"}`
+	_, ts := newTestServer(t, Options{Client: core.NewClient(core.WithWorkers(1))})
+	v, resp := postScenario(t, ts, slow)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if v.Timeout != "100ms" {
+		t.Errorf("submit view Timeout = %q, want 100ms", v.Timeout)
+	}
+	final := waitStatus(t, ts, v.ID, statusTimedOut)
+	if !strings.Contains(final.Error, "100ms") {
+		t.Errorf("timed_out error detail = %q, want the deadline in it", final.Error)
+	}
+}
+
+// TestBadTimeoutRejected covers the 400 path for unparseable and
+// non-positive deadlines.
+func TestBadTimeoutRejected(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, tmo := range []string{`"soon"`, `"-5s"`, `"0s"`} {
+		body := `{"configs": [{"preset": "XBar/OCM"}], "workloads": ["Uniform"],
+			"requests": 300, "timeout": ` + tmo + `}`
+		if _, resp := postScenario(t, ts, body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("timeout %s: HTTP %d, want 400", tmo, resp.StatusCode)
+		}
+	}
+}
+
+// TestCellPanicFailsOnlyItsJob arms the cell fault point in panic mode: the
+// first job must fail with the contained panic, and the daemon — same
+// process, same runner — must then run the next job to completion.
+func TestCellPanicFailsOnlyItsJob(t *testing.T) {
+	defer faultinject.Disarm()
+	_, ts := newTestServer(t, Options{})
+	if err := faultinject.Arm("core.cell.run:panic@1"); err != nil {
+		t.Fatal(err)
+	}
+	v, resp := postScenario(t, ts, tinyScenario)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	final := waitStatus(t, ts, v.ID, statusFailed)
+	if !strings.Contains(final.Error, "panicked") {
+		t.Errorf("failed job error = %q, want the contained panic", final.Error)
+	}
+	faultinject.Disarm()
+
+	next, resp := postScenario(t, ts, tinyScenario)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after panic: HTTP %d", resp.StatusCode)
+	}
+	if got := waitStatus(t, ts, next.ID, statusDone); got.Done != 2 {
+		t.Fatalf("job after contained panic = %+v, want done with 2 cells", got)
+	}
+}
+
+// TestHealthzReportsQueueAndStore pins the health body's backpressure and
+// durability fields.
+func TestHealthzReportsQueueAndStore(t *testing.T) {
+	_, ts := newTestServer(t, Options{QueueDepth: 7})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v healthView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != "ok" || v.QueueCapacity != 7 || v.QueueDepth != 0 || v.Store != "disabled" {
+		t.Fatalf("healthz without a store = %+v", v)
+	}
+
+	st := openStore(t, t.TempDir())
+	defer st.Close()
+	_, ts2 := newTestServer(t, Options{Store: st})
+	resp2, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var v2 healthView
+	if err := json.NewDecoder(resp2.Body).Decode(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Store != "ok" {
+		t.Fatalf("healthz with a store = %+v, want store ok", v2)
+	}
+
+	// A wedged journal must be visible, and the daemon must keep serving.
+	if err := faultinject.Arm("store.append.before:error@1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disarm()
+	jv, resp3 := postScenario(t, ts2, tinyScenario)
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit onto wedging store: HTTP %d", resp3.StatusCode)
+	}
+	faultinject.Disarm()
+	waitStatus(t, ts2, jv.ID, statusDone)
+	resp4, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	var v4 healthView
+	if err := json.NewDecoder(resp4.Body).Decode(&v4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(v4.Store, "wedged: ") {
+		t.Fatalf("healthz after store failure = %+v, want a wedged store report", v4)
+	}
+}
+
+// TestQueueFullCarriesRetryAfter asserts the 503 rejection carries the
+// Retry-After hint backoff clients key on.
+func TestQueueFullCarriesRetryAfter(t *testing.T) {
+	slow := `{"configs": [{"preset": "XBar/OCM"}], "workloads": ["Uniform"], "requests": 2000000, "seed": 1}`
+	_, ts := newTestServer(t, Options{QueueDepth: 1, Runners: 1,
+		Client: core.NewClient(core.WithWorkers(1))})
+	first, resp := postScenario(t, ts, slow)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d", resp.StatusCode)
+	}
+	waitStatus(t, ts, first.ID, statusRunning)
+	if _, resp = postScenario(t, ts, slow); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: HTTP %d", resp.StatusCode)
+	}
+	_, resp = postScenario(t, ts, slow)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third submit: HTTP %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("queue-full 503 carries no Retry-After header")
+	}
+	// Unblock the runner so Cleanup's Close does not wait out the slow job.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+first.ID, nil)
+	if dresp, err := http.DefaultClient.Do(req); err == nil {
+		dresp.Body.Close()
+	}
+}
+
+// TestMiddleJobPanicsSiblingsSurvive runs three jobs through one runner with
+// a panic armed to land in the middle job's first cell (jobs are serialized,
+// two cell executions each, so hit 3 is job two): exactly that job must
+// fail, and both siblings must complete in the same process.
+func TestMiddleJobPanicsSiblingsSurvive(t *testing.T) {
+	defer faultinject.Disarm()
+	_, ts := newTestServer(t, Options{Runners: 1, Client: core.NewClient(core.WithWorkers(1))})
+	if err := faultinject.Arm("core.cell.run:panic@3"); err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		v, resp := postScenario(t, ts, tinyScenario)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, resp.StatusCode)
+		}
+		ids = append(ids, v.ID)
+	}
+	statuses := make([]string, len(ids))
+	for i, id := range ids {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			v, _ := getStatus(t, ts, id)
+			if v.Status == statusDone || v.Status == statusFailed {
+				statuses[i] = v.Status
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck at %q", id, v.Status)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	want := []string{statusDone, statusFailed, statusDone}
+	for i := range want {
+		if statuses[i] != want[i] {
+			t.Fatalf("job statuses = %v, want %v (panic contained to the middle job)", statuses, want)
+		}
+	}
+}

@@ -7,21 +7,38 @@
 // Endpoints:
 //
 //	POST   /v1/jobs              submit a scenario (the corona-sweep -config
-//	                             JSON schema); 202 with the job id, 400 on
-//	                             invalid input, 503 when the queue is full
+//	                             JSON schema, plus an optional "timeout"
+//	                             duration); 202 with the job id, 400 on
+//	                             invalid input, 503 + Retry-After when the
+//	                             queue is full
 //	GET    /v1/jobs              list known jobs
 //	GET    /v1/jobs/{id}         status and progress
 //	GET    /v1/jobs/{id}/results NDJSON stream of completed cells, following
 //	                             the job live until it finishes
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET    /v1/fabrics           the registered interconnect catalog
-//	GET    /healthz              liveness
+//	GET    /healthz              liveness, queue depth/capacity, store state
 //
 // Jobs are admitted into a bounded queue and executed by a fixed set of
 // runner goroutines; within one job, cells fan out over the client's worker
-// pool, and all jobs share the client's on-disk result cache. Close cancels
-// running jobs (their completed cells stay cached) and drains the runners —
-// graceful shutdown for the daemon.
+// pool, and all jobs share the client's on-disk result cache.
+//
+// Durability: with Options.Store set, every submission, completed cell, and
+// terminal status is appended to the job journal before (or as) it becomes
+// observable. A daemon restarted against the same store directory replays
+// the journal, restores finished jobs for querying, marks jobs that were
+// still in flight "resuming", and re-runs only their missing cells (the
+// recorded ones are fed back through core.Precomputed); deterministic
+// seeding makes the merged result set byte-identical to an uninterrupted
+// run. A graceful Close deliberately does NOT write a terminal status for
+// interrupted jobs — that is what lets the next daemon resume them. See
+// docs/OPERATIONS.md for the full failure-semantics table.
+//
+// Failure containment: a panicking cell fails only its own job (the core
+// engine converts cell panics to *core.PanicError, and runJob has a second
+// barrier), per-job wall-clock deadlines land jobs in "timed_out", and a
+// wedged store degrades the daemon to in-memory operation with loud logs
+// rather than killing it.
 package server
 
 import (
@@ -30,13 +47,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"corona/internal/core"
 	"corona/internal/noc"
+	"corona/internal/store"
 )
 
 // Options configures a Server.
@@ -45,7 +67,8 @@ type Options struct {
 	// (GOMAXPROCS workers, no cache).
 	Client *core.Client
 	// QueueDepth bounds jobs admitted but not yet finished being picked up;
-	// submissions beyond it are rejected with 503. Default 16.
+	// submissions beyond it are rejected with 503. Default 16. Jobs resumed
+	// from the Store do not count against it.
 	QueueDepth int
 	// Runners is how many jobs execute concurrently. Default 1: cells within
 	// a job already fan out over the client's worker pool, so more runners
@@ -56,8 +79,17 @@ type Options struct {
 	MaxBodyBytes int64
 	// RetainJobs bounds how many finished jobs (and their accumulated cell
 	// results) stay queryable: when a submission would exceed it, the oldest
-	// terminal jobs are evicted. Live jobs are never evicted. Default 256.
+	// terminal jobs are evicted (and eventually compacted out of the Store).
+	// Live jobs are never evicted. Default 256.
 	RetainJobs int
+	// Store, when non-nil, is the durable job journal: submissions, cells,
+	// and terminal statuses are persisted to it, and jobs it reports as
+	// interrupted are resumed at startup. The caller owns the store and
+	// closes it after Close. Nil runs fully in memory (the pre-durability
+	// behavior).
+	Store *store.Store
+	// Logger receives structured job-lifecycle logs. Nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 // Server owns the job registry, the bounded queue, and the runner pool.
@@ -67,20 +99,25 @@ type Server struct {
 	client  *core.Client
 	maxBody int64
 	retain  int
+	depth   int // configured queue depth (the admission bound)
+	st      *store.Store
+	log     *slog.Logger
 
 	ctx    context.Context // canceled by Close: stops every running job
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	queue  chan *job
 
-	mu     sync.Mutex
-	closed bool
-	nextID uint64
-	jobs   map[string]*job
-	order  []string // job ids in submission order, for bounded eviction
+	mu           sync.Mutex
+	closed       bool
+	nextID       uint64
+	jobs         map[string]*job
+	order        []string // job ids in submission order, for bounded eviction
+	sinceCompact int      // evictions since the journal was last compacted
 }
 
-// New starts a Server's runner goroutines and returns it.
+// New builds a Server, resumes any interrupted jobs found in the store, and
+// starts the runner goroutines.
 func New(opts Options) *Server {
 	if opts.Client == nil {
 		opts.Client = core.NewClient()
@@ -97,15 +134,27 @@ func New(opts Options) *Server {
 	if opts.RetainJobs <= 0 {
 		opts.RetainJobs = 256
 	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		client:  opts.Client,
 		maxBody: opts.MaxBodyBytes,
 		retain:  opts.RetainJobs,
+		depth:   opts.QueueDepth,
+		st:      opts.Store,
+		log:     opts.Logger,
 		ctx:     ctx,
 		cancel:  cancel,
-		queue:   make(chan *job, opts.QueueDepth),
 		jobs:    make(map[string]*job),
+	}
+	resumed := s.restoreJobs()
+	// Resumed jobs get dedicated queue slots so a full restart never
+	// deadlocks against its own backlog or eats the admission budget.
+	s.queue = make(chan *job, opts.QueueDepth+len(resumed))
+	for _, j := range resumed {
+		s.queue <- j
 	}
 	for i := 0; i < opts.Runners; i++ {
 		s.wg.Add(1)
@@ -114,9 +163,72 @@ func New(opts Options) *Server {
 	return s
 }
 
+// restoreJobs replays the store into the in-memory registry: terminal jobs
+// come back queryable (status, cells, stream), interrupted ones are marked
+// "resuming" and returned for enqueueing. Callers run before the runners
+// start, so no locking is needed yet.
+func (s *Server) restoreJobs() []*job {
+	if s.st == nil {
+		return nil
+	}
+	var resumed []*job
+	for _, js := range s.st.Jobs() {
+		j := &job{
+			id:        js.ID,
+			total:     js.Total,
+			submitted: js.Submitted,
+			timeout:   js.Timeout,
+			cells:     js.Cells,
+		}
+		j.cond = sync.NewCond(&j.mu)
+		if n := parseJobID(js.ID); n > s.nextID {
+			s.nextID = n
+		}
+		if js.Status != "" {
+			j.status, j.errMsg = js.Status, js.Error
+		} else if sc, err := core.ParseScenario(js.Scenario); err != nil {
+			// The stored scenario no longer parses (schema drift, registry
+			// change): fail it durably rather than retrying forever.
+			j.status = statusFailed
+			j.errMsg = "resume: " + err.Error()
+			s.persistStatus(js.ID, statusFailed, j.errMsg)
+			s.log.Error("job resume rejected", "job", js.ID, "err", err)
+		} else {
+			j.scenario = sc
+			j.status = statusResuming
+			j.restored = make(map[int]bool, len(js.Cells))
+			for _, c := range js.Cells {
+				j.restored[c.Index] = true
+			}
+			resumed = append(resumed, j)
+			s.log.Info("job marked for resume", "job", js.ID,
+				"done", len(js.Cells), "total", js.Total)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	return resumed
+}
+
+// parseJobID extracts the sequence number from a "job-NNNNNN" id, 0 when it
+// does not fit the shape.
+func parseJobID(id string) uint64 {
+	num, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
 // Close rejects further submissions, cancels queued and running jobs, and
-// waits for the runners to drain. Completed cells keep their cache entries,
-// so a resubmitted scenario resumes from them.
+// waits for the runners to drain. Completed cells keep their cache entries
+// and journal records; interrupted jobs are deliberately left without a
+// terminal status in the journal, so the next daemon on this store resumes
+// them.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -143,13 +255,18 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// Job lifecycle states.
+// Job lifecycle states. "resuming" is the restart path: the job was
+// interrupted by a crash or shutdown and is queued to re-run its missing
+// cells. "timed_out" is terminal: the job's submitted wall-clock deadline
+// expired.
 const (
 	statusQueued   = "queued"
+	statusResuming = "resuming"
 	statusRunning  = "running"
 	statusDone     = "done"
 	statusFailed   = "failed"
 	statusCanceled = "canceled"
+	statusTimedOut = "timed_out"
 )
 
 // job is one submitted scenario and everything observers need: state,
@@ -157,9 +274,15 @@ const (
 // cond that broadcasts every state or cell change.
 type job struct {
 	id        string
-	scenario  *core.Scenario
+	scenario  *core.Scenario // nil for restored terminal jobs
 	total     int
 	submitted time.Time
+	timeout   time.Duration
+
+	// restored marks cell indices replayed from the journal (resumed jobs
+	// only): they are already in cells, already durable, and must not be
+	// double-appended when the resumed sweep re-surfaces them.
+	restored map[int]bool
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -170,12 +293,13 @@ type job struct {
 	cancel   context.CancelFunc // non-nil while running
 }
 
-func newJob(id string, sc *core.Scenario) *job {
+func newJob(id string, sc *core.Scenario, timeout time.Duration) *job {
 	j := &job{
 		id:        id,
 		scenario:  sc,
 		total:     len(sc.Configs) * len(sc.Workloads),
 		submitted: time.Now().UTC(),
+		timeout:   timeout,
 		status:    statusQueued,
 	}
 	j.cond = sync.NewCond(&j.mu)
@@ -185,24 +309,30 @@ func newJob(id string, sc *core.Scenario) *job {
 // terminal reports whether the job has reached a final state. Callers hold
 // j.mu.
 func (j *job) terminal() bool {
-	return j.status == statusDone || j.status == statusFailed || j.status == statusCanceled
+	switch j.status {
+	case statusDone, statusFailed, statusCanceled, statusTimedOut:
+		return true
+	}
+	return false
 }
 
-// jobView is the JSON shape of a job for status responses.
-type jobView struct {
+// JobView is the JSON shape of a job for status responses (and the shape
+// Client decodes).
+type JobView struct {
 	ID         string    `json:"id"`
 	Status     string    `json:"status"`
 	Done       int       `json:"done"`
 	Total      int       `json:"total"`
 	Error      string    `json:"error,omitempty"`
 	Submitted  time.Time `json:"submitted"`
+	Timeout    string    `json:"timeout,omitempty"`
 	ResultsURL string    `json:"results_url"`
 }
 
-func (j *job) view() jobView {
+func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return jobView{
+	v := JobView{
 		ID:         j.id,
 		Status:     j.status,
 		Done:       len(j.cells),
@@ -210,6 +340,41 @@ func (j *job) view() jobView {
 		Error:      j.errMsg,
 		Submitted:  j.submitted,
 		ResultsURL: "/v1/jobs/" + j.id + "/results",
+	}
+	if j.timeout > 0 {
+		v.Timeout = j.timeout.String()
+	}
+	return v
+}
+
+// persistSubmit/persistCell/persistStatus write through to the journal when
+// one is configured. A store failure (a wedged journal, a dead disk) is
+// loud but not fatal: the daemon degrades to in-memory operation — visible
+// in /healthz — rather than dying mid-campaign.
+func (s *Server) persistSubmit(id string, scenario []byte, total int, submitted time.Time, timeout time.Duration) {
+	if s.st == nil {
+		return
+	}
+	if err := s.st.AppendSubmit(id, scenario, total, submitted, timeout); err != nil {
+		s.log.Error("job store write failed; durability degraded", "job", id, "record", "submit", "err", err)
+	}
+}
+
+func (s *Server) persistCell(id string, cell core.CellResult) {
+	if s.st == nil {
+		return
+	}
+	if err := s.st.AppendCell(id, cell); err != nil {
+		s.log.Error("job store write failed; durability degraded", "job", id, "record", "cell", "err", err)
+	}
+}
+
+func (s *Server) persistStatus(id, status, errMsg string) {
+	if s.st == nil {
+		return
+	}
+	if err := s.st.AppendStatus(id, status, errMsg); err != nil {
+		s.log.Error("job store write failed; durability degraded", "job", id, "record", "status", "err", err)
 	}
 }
 
@@ -222,6 +387,27 @@ func (s *Server) runner() {
 }
 
 func (s *Server) runJob(j *job) {
+	// Backstop barrier: core already converts cell panics into errors, so
+	// anything recovered here is a bug in the job plumbing itself — fail
+	// the one job, keep the daemon and its sibling jobs alive.
+	defer func() {
+		if v := recover(); v != nil {
+			msg := fmt.Sprintf("job runner panicked: %v", v)
+			s.log.Error("job runner panic contained", "job", j.id, "panic", v,
+				"stack", string(debug.Stack()))
+			j.mu.Lock()
+			if !j.terminal() {
+				j.status, j.errMsg = statusFailed, msg
+				j.cancel = nil
+				j.cond.Broadcast()
+				j.mu.Unlock()
+				s.persistStatus(j.id, statusFailed, msg)
+				return
+			}
+			j.mu.Unlock()
+		}
+	}()
+
 	j.mu.Lock()
 	if j.terminal() {
 		// Canceled while queued: handleCancel already finalized the state.
@@ -229,51 +415,114 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	if j.canceled || s.ctx.Err() != nil {
+		// Shutdown before start: leave the journal without a terminal
+		// status so the next daemon resumes this job.
 		j.status = statusCanceled
 		j.errMsg = "canceled before start"
 		j.cond.Broadcast()
 		j.mu.Unlock()
 		return
 	}
-	ctx, cancel := context.WithCancel(s.ctx)
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.ctx, j.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.ctx)
+	}
 	j.cancel = cancel
+	from := j.status
 	j.status = statusRunning
 	j.cond.Broadcast()
+	resumedCells := len(j.restored)
 	j.mu.Unlock()
 	defer cancel()
+	s.log.Info("job running", "job", j.id, "from", from,
+		"total", j.total, "resumed_cells", resumedCells, "timeout", j.timeout)
+	started := time.Now()
 
-	cj, err := s.client.Submit(ctx, j.scenario.Sweep())
+	// A resumed job feeds its journal-recorded cells back as precomputed
+	// results: the engine re-runs only the missing ones, deterministically
+	// identical to what an uninterrupted run would have produced.
+	var opts []core.Option
+	if resumedCells > 0 {
+		pre := make(map[int]core.Result, resumedCells)
+		j.mu.Lock()
+		for _, c := range j.cells {
+			pre[c.Index] = c.Result
+		}
+		j.mu.Unlock()
+		opts = append(opts, core.Precomputed(pre))
+	}
+
+	cj, err := s.client.Submit(ctx, j.scenario.Sweep(), opts...)
 	if err == nil {
 		for cell := range cj.Results() {
 			j.mu.Lock()
+			if j.restored[cell.Index] {
+				// Already durable and already in cells from the journal.
+				j.mu.Unlock()
+				continue
+			}
 			j.cells = append(j.cells, cell)
 			j.cond.Broadcast()
 			j.mu.Unlock()
+			s.persistCell(j.id, cell)
 		}
 		err = cj.Wait(context.Background())
 	}
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	defer j.cond.Broadcast()
 	j.cancel = nil
+	var status, detail string
 	switch {
 	case err == nil:
-		j.status = statusDone
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		j.status = statusCanceled
-		j.errMsg = err.Error()
+		status = statusDone
+	case errors.Is(err, context.DeadlineExceeded) && j.timeout > 0 && !j.canceled:
+		status = statusTimedOut
+		detail = fmt.Sprintf("deadline %v exceeded: %v", j.timeout, err)
+	case isCancellation(err):
+		status = statusCanceled
+		detail = err.Error()
 	default:
-		j.status = statusFailed
-		j.errMsg = err.Error()
+		status = statusFailed
+		detail = err.Error()
+		var pe *core.PanicError
+		if errors.As(err, &pe) {
+			s.log.Error("cell panic contained", "job", j.id, "panic", pe.Value,
+				"stack", string(pe.Stack))
+		}
 	}
+	j.status, j.errMsg = status, detail
+	j.cond.Broadcast()
+	userCanceled := j.canceled
+	done := len(j.cells)
+	j.mu.Unlock()
+
+	// Persist the terminal status — except for a shutdown-interrupted job,
+	// which must stay statusless in the journal so the next daemon resumes
+	// it exactly where the cells left off.
+	interrupted := status == statusCanceled && !userCanceled && s.ctx.Err() != nil
+	if !interrupted {
+		s.persistStatus(j.id, status, detail)
+	}
+	s.log.Info("job finished", "job", j.id, "status", status,
+		"done", done, "total", j.total, "duration", time.Since(started).Round(time.Millisecond),
+		"interrupted", interrupted, "err", detail)
+}
+
+// isCancellation reports a context cancellation or deadline, wrapped or not.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // evictLocked drops the oldest terminal jobs once the registry exceeds the
 // retention bound, so a long-lived daemon's memory stays proportional to
 // retain + live jobs rather than to its submission history. Live (queued or
-// running) jobs are never evicted. Callers hold s.mu.
+// running) jobs are never evicted. Once enough evictions accumulate, the
+// journal is compacted so disk tracks the registry too. Callers hold s.mu.
 func (s *Server) evictLocked() {
+	evicted := 0
 	for i := 0; len(s.jobs) > s.retain && i < len(s.order); {
 		j := s.jobs[s.order[i]]
 		j.mu.Lock()
@@ -285,6 +534,24 @@ func (s *Server) evictLocked() {
 		}
 		delete(s.jobs, s.order[i])
 		s.order = append(s.order[:i], s.order[i+1:]...)
+		evicted++
+	}
+	if evicted == 0 || s.st == nil {
+		return
+	}
+	// Compact once an eighth of the retention window has been evicted —
+	// often enough to bound the journal, rare enough that steady-state
+	// submissions do not rewrite it every time.
+	if s.sinceCompact += evicted; s.sinceCompact*8 < s.retain {
+		return
+	}
+	s.sinceCompact = 0
+	keep := make(map[string]bool, len(s.jobs))
+	for id := range s.jobs {
+		keep[id] = true
+	}
+	if err := s.st.Compact(func(id string) bool { return keep[id] }); err != nil {
+		s.log.Error("journal compaction failed", "err", err)
 	}
 }
 
@@ -306,8 +573,63 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// writeUnavailable is the 503 path: every queue-full or shutting-down
+// rejection carries a Retry-After hint (seconds) so backoff clients have a
+// real signal instead of a guess.
+func writeUnavailable(w http.ResponseWriter, retryAfter int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeError(w, http.StatusServiceUnavailable, msg)
+}
+
+// healthView is the /healthz body: liveness plus the backpressure and
+// durability signals a fleet scheduler (or a backoff client) needs.
+type healthView struct {
+	Status        string `json:"status"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Jobs          int    `json:"jobs"`
+	Live          int    `json:"live"`
+	Store         string `json:"store"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.mu.Lock()
+	v := healthView{
+		Status:        "ok",
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.depth,
+		Jobs:          len(s.jobs),
+	}
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if !j.terminal() {
+			v.Live++
+		}
+		j.mu.Unlock()
+	}
+	switch {
+	case s.st == nil:
+		v.Store = "disabled"
+	case s.st.Err() != nil:
+		v.Store = "wedged: " + s.st.Err().Error()
+	default:
+		v.Store = "ok"
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// submitExtras are the submission fields that belong to the serving layer,
+// not the scenario: they ride in the same JSON body (core.ParseScenario
+// ignores unknown fields) so one POST carries both.
+type submitExtras struct {
+	// Timeout is an optional per-job wall-clock deadline ("90s", "15m").
+	// When it expires the job lands in "timed_out".
+	Timeout string `json:"timeout"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -329,14 +651,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	var extras submitExtras
+	var timeout time.Duration
+	if json.Unmarshal(body, &extras) == nil && extras.Timeout != "" {
+		timeout, err = time.ParseDuration(extras.Timeout)
+		if err != nil || timeout <= 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("timeout %q is not a positive duration", extras.Timeout))
+			return
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeUnavailable(w, retryAfterShutdown, "server is shutting down")
 		return
 	}
 	s.nextID++
-	j := newJob(fmt.Sprintf("job-%06d", s.nextID), sc)
+	j := newJob(fmt.Sprintf("job-%06d", s.nextID), sc, timeout)
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
@@ -346,16 +678,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.nextID-- // the id was never visible
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "job queue full; retry later")
+		writeUnavailable(w, retryAfterFull, "job queue full; retry later")
 		return
 	}
+	s.persistSubmit(j.id, body, j.total, j.submitted, timeout)
+	s.log.Info("job submitted", "job", j.id, "cells", j.total, "timeout", timeout)
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
+// Retry-After hints, in seconds. A full queue usually drains within a job
+// or two; a shutting-down daemon will not come back on its own, so steer
+// clients away for longer.
+const (
+	retryAfterFull     = 2
+	retryAfterShutdown = 60
+)
+
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	views := make([]jobView, 0, len(s.jobs))
+	views := make([]JobView, 0, len(s.jobs))
 	jobs := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
@@ -428,6 +770,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	j.mu.Lock()
 	j.canceled = true
+	finalizedNow := false
 	switch {
 	case j.cancel != nil:
 		// Running: the runner observes the context and finalizes the state.
@@ -437,9 +780,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		// now; the runner skips terminal jobs when it dequeues this one.
 		j.status = statusCanceled
 		j.errMsg = "canceled while queued"
+		finalizedNow = true
 	}
 	j.cond.Broadcast()
 	j.mu.Unlock()
+	if finalizedNow {
+		// A user cancel is a real terminal state: persist it so a restart
+		// does not resurrect the job.
+		s.persistStatus(j.id, statusCanceled, "canceled while queued")
+		s.log.Info("job canceled while queued", "job", j.id)
+	}
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 

@@ -24,6 +24,9 @@ const tinyScenario = `{
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
+	if opts.Logger == nil {
+		opts.Logger = discardLogger()
+	}
 	s := New(opts)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -33,14 +36,14 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func postScenario(t *testing.T, ts *httptest.Server, body string) (jobView, *http.Response) {
+func postScenario(t *testing.T, ts *httptest.Server, body string) (JobView, *http.Response) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var v jobView
+	var v JobView
 	if resp.StatusCode == http.StatusAccepted {
 		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 			t.Fatal(err)
@@ -49,14 +52,14 @@ func postScenario(t *testing.T, ts *httptest.Server, body string) (jobView, *htt
 	return v, resp
 }
 
-func getStatus(t *testing.T, ts *httptest.Server, id string) (jobView, int) {
+func getStatus(t *testing.T, ts *httptest.Server, id string) (JobView, int) {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var v jobView
+	var v JobView
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 			t.Fatal(err)
@@ -67,7 +70,7 @@ func getStatus(t *testing.T, ts *httptest.Server, id string) (jobView, int) {
 
 // waitStatus polls until the job reaches want (or any terminal state) and
 // returns the final view.
-func waitStatus(t *testing.T, ts *httptest.Server, id, want string) jobView {
+func waitStatus(t *testing.T, ts *httptest.Server, id, want string) JobView {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
@@ -78,7 +81,7 @@ func waitStatus(t *testing.T, ts *httptest.Server, id, want string) jobView {
 		if v.Status == want {
 			return v
 		}
-		if v.Status == statusDone || v.Status == statusFailed || v.Status == statusCanceled {
+		if v.Status == statusDone || v.Status == statusFailed || v.Status == statusCanceled || v.Status == statusTimedOut {
 			t.Fatalf("job %s terminal at %q (error %q), want %q", id, v.Status, v.Error, want)
 		}
 		if time.Now().After(deadline) {
@@ -180,7 +183,7 @@ func TestSubmitRejectsInvalidScenarios(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var views []jobView
+	var views []JobView
 	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +334,7 @@ func TestCancelQueuedJobFinalizesImmediately(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var v jobView
+	var v JobView
 	if err := json.NewDecoder(dresp.Body).Decode(&v); err != nil {
 		t.Fatal(err)
 	}
