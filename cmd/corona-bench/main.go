@@ -1,0 +1,256 @@
+// Command corona-bench measures fleet scaling: it boots an in-process
+// corona-serve fleet — N worker daemons plus a coordinator, every node on
+// its own TCP listener, talking the real HTTP/NDJSON protocol — runs the
+// paper-shaped 6-configuration x 15-workload campaign through a 1-worker
+// fleet and through the N-worker fleet, verifies the two merged result
+// streams are identical cell for cell, and reports the wall-clock speedup
+// as JSON (BENCH_8.json in CI).
+//
+// Usage:
+//
+//	corona-bench [-fleet N] [-node-workers W] [-requests R] [-seed S]
+//	             [-jobs J] [-out FILE]
+//
+// Each worker simulates its shard with a W-goroutine pool (-node-workers,
+// default 1 so the scaling measured is the fleet's, not the pool's). -jobs
+// submits the campaign J times back to back through the fleet and reports
+// p50/p90/p99 campaign latencies alongside the totals. The in-process
+// fleet shares one machine, so wall-clock speedup is bounded by real cores:
+// the report carries num_cpu and gomaxprocs so a 1-CPU container's ~1x is
+// read as a substrate limit, not a sharding defect.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"corona/internal/core"
+	"corona/internal/server"
+)
+
+// report is the BENCH_8.json schema.
+type report struct {
+	Schema      int    `json:"schema"`
+	Cells       int    `json:"cells"`
+	Requests    int    `json:"requests"`
+	Seed        uint64 `json:"seed"`
+	Fleet       int    `json:"fleet"`
+	NodeWorkers int    `json:"node_workers"`
+	Jobs        int    `json:"jobs"`
+
+	SingleWallSeconds float64 `json:"single_wall_seconds"`
+	FleetWallSeconds  float64 `json:"fleet_wall_seconds"`
+	FleetSpeedup      float64 `json:"fleet_speedup"`
+	SingleCellsPerSec float64 `json:"single_cells_per_sec"`
+	FleetCellsPerSec  float64 `json:"fleet_cells_per_sec"`
+
+	P50Seconds float64 `json:"p50_seconds,omitempty"`
+	P90Seconds float64 `json:"p90_seconds,omitempty"`
+	P99Seconds float64 `json:"p99_seconds,omitempty"`
+
+	Identical  bool   `json:"merged_identical"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	fleet := flag.Int("fleet", 4, "worker daemons in the fleet")
+	nodeWorkers := flag.Int("node-workers", 1, "per-worker simulation pool size")
+	requests := flag.Int("requests", 1500, "requests per cell")
+	seed := flag.Uint64("seed", 29, "campaign base seed")
+	jobs := flag.Int("jobs", 1, "campaigns submitted back to back per fleet size")
+	out := flag.String("out", "BENCH_8.json", "report file (- for stdout)")
+	flag.Parse()
+	if *fleet < 1 || *jobs < 1 {
+		fmt.Fprintln(os.Stderr, "corona-bench: -fleet and -jobs must be >= 1")
+		return 2
+	}
+
+	scenario := fmt.Appendf(nil, `{
+		"configs": [{"preset": "LMesh/ECM"}, {"preset": "HMesh/ECM"}, {"preset": "LMesh/OCM"},
+		            {"preset": "HMesh/OCM"}, {"preset": "XBar/OCM"}, {"fabric": "swmr", "mem": "OCM"}],
+		"requests": %d,
+		"seed": %d
+	}`, *requests, *seed)
+
+	single, err := benchFleet(1, *nodeWorkers, *jobs, scenario)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corona-bench: 1-worker fleet:", err)
+		return 1
+	}
+	multi, err := benchFleet(*fleet, *nodeWorkers, *jobs, scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corona-bench: %d-worker fleet: %v\n", *fleet, err)
+		return 1
+	}
+
+	r := report{
+		Schema:      1,
+		Cells:       len(single.cells),
+		Requests:    *requests,
+		Seed:        *seed,
+		Fleet:       *fleet,
+		NodeWorkers: *nodeWorkers,
+		Jobs:        *jobs,
+
+		SingleWallSeconds: single.wall.Seconds(),
+		FleetWallSeconds:  multi.wall.Seconds(),
+		FleetSpeedup:      single.wall.Seconds() / multi.wall.Seconds(),
+		SingleCellsPerSec: float64(len(single.cells)**jobs) / single.wall.Seconds(),
+		FleetCellsPerSec:  float64(len(multi.cells)**jobs) / multi.wall.Seconds(),
+
+		Identical:  identical(single.cells, multi.cells),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	if *jobs > 1 {
+		sort.Slice(multi.perJob, func(i, j int) bool { return multi.perJob[i] < multi.perJob[j] })
+		r.P50Seconds = quantile(multi.perJob, 0.50).Seconds()
+		r.P90Seconds = quantile(multi.perJob, 0.90).Seconds()
+		r.P99Seconds = quantile(multi.perJob, 0.99).Seconds()
+	}
+	if !r.Identical {
+		fmt.Fprintln(os.Stderr, "corona-bench: FLEET RESULTS DIVERGE FROM SINGLE-NODE — determinism bug")
+	}
+
+	enc, _ := json.MarshalIndent(r, "", "  ")
+	enc = append(enc, '\n')
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corona-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	w.Write(enc)
+	fmt.Fprintf(os.Stderr, "corona-bench: %d cells x %d jobs: 1 worker %.2fs, %d workers %.2fs (%.2fx, %d CPUs)\n",
+		r.Cells, r.Jobs, r.SingleWallSeconds, r.Fleet, r.FleetWallSeconds, r.FleetSpeedup, r.NumCPU)
+	if !r.Identical {
+		return 1
+	}
+	return 0
+}
+
+// node is one in-process daemon on a real TCP listener.
+type node struct {
+	srv *server.Server
+	hs  *http.Server
+	url string
+}
+
+func startNode(workers int, peers []*server.Client, log *slog.Logger) (*node, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Options{
+		Client: core.NewClient(core.WithWorkers(workers)),
+		Logger: log,
+		Peers:  peers,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &node{srv: srv, hs: hs, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (n *node) stop() {
+	n.hs.Close()
+	n.srv.Close()
+}
+
+// fleetResult is one fleet size's measurement: total wall clock across the
+// jobs, per-job latencies, and the final job's cells in index order.
+type fleetResult struct {
+	wall   time.Duration
+	perJob []time.Duration
+	cells  []core.CellResult
+}
+
+// benchFleet boots n workers plus a coordinator, runs the campaign jobs
+// times through the coordinator, and tears the fleet down.
+func benchFleet(n, nodeWorkers, jobs int, scenario []byte) (fleetResult, error) {
+	var res fleetResult
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	var peers []*server.Client
+	for i := 0; i < n; i++ {
+		w, err := startNode(nodeWorkers, nil, log)
+		if err != nil {
+			return res, err
+		}
+		defer w.stop()
+		peers = append(peers, server.NewClient(w.url))
+	}
+	coord, err := startNode(0, peers, log)
+	if err != nil {
+		return res, err
+	}
+	defer coord.stop()
+	c := server.NewClient(coord.url)
+
+	ctx := context.Background()
+	start := time.Now()
+	for job := 0; job < jobs; job++ {
+		jobStart := time.Now()
+		v, err := c.Submit(ctx, scenario)
+		if err != nil {
+			return res, err
+		}
+		var cells []core.CellResult
+		if err := c.Stream(ctx, v.ID, func(cell core.CellResult) error {
+			cells = append(cells, cell)
+			return nil
+		}); err != nil {
+			return res, err
+		}
+		if _, err := c.Wait(ctx, v.ID, 10*time.Millisecond); err != nil {
+			return res, err
+		}
+		res.perJob = append(res.perJob, time.Since(jobStart))
+		sort.Slice(cells, func(i, j int) bool { return cells[i].Index < cells[j].Index })
+		res.cells = cells
+	}
+	res.wall = time.Since(start)
+	return res, nil
+}
+
+// identical reports whether two index-sorted cell sets carry the same
+// results, compared through the JSON encoding the NDJSON stream uses.
+func identical(a, b []core.CellResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		ja, _ := json.Marshal(a[i])
+		jb, _ := json.Marshal(b[i])
+		if string(ja) != string(jb) {
+			return false
+		}
+	}
+	return true
+}
+
+// quantile reads the q-th quantile from an ascending slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -9,18 +9,29 @@
 //	corona-serve [-addr HOST:PORT] [-workers W] [-cache DIR]
 //	             [-queue N] [-runners R] [-drain DUR]
 //	             [-store DIR] [-log text|json]
+//	             [-mode worker|coordinator] [-peers URL,URL,...]
 //
 // API (see docs/API.md for a curl walkthrough):
 //
 //	POST   /v1/jobs              submit a scenario JSON (the corona-sweep
-//	                             -config schema, plus an optional "timeout"
-//	                             duration); returns the job id
+//	                             -config schema, plus optional "timeout"
+//	                             and "cells" fields); returns the job id
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         status and progress
 //	GET    /v1/jobs/{id}/results NDJSON stream of cells as they complete
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/fabrics           registered interconnect catalog
 //	GET    /healthz              liveness, queue depth, store state
+//	GET    /metrics              Prometheus text-format operational metrics
+//
+// -mode coordinator turns the daemon into a fleet coordinator: it executes
+// nothing locally, instead splitting each campaign's cell matrix into
+// contiguous shards, dispatching them to the -peers worker daemons (same
+// binary, default mode), merging the shard streams into one index-ordered
+// result stream byte-identical to a single-node run, and retrying failed
+// shards on surviving workers. Every flag also reads a CORONA_* environment
+// variable (flag wins) so containerized fleets configure via env — see
+// docker-compose.yml.
 //
 // Jobs wait in a bounded queue (-queue; full queue = 503 with a Retry-After
 // hint) and run -runners at a time, each fanning its cells over a -workers
@@ -48,6 +59,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,15 +72,37 @@ import (
 
 func main() { os.Exit(run()) }
 
+// envStr/envInt read a CORONA_* default for a flag, so container fleets
+// (docker-compose.yml) configure daemons by environment; an explicit flag
+// still wins because the env only supplies the default.
+func envStr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func envInt(key string, def int) int {
+	if v := os.Getenv(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+		fmt.Fprintf(os.Stderr, "corona-serve: ignoring %s=%q: not an integer\n", key, v)
+	}
+	return def
+}
+
 func run() int {
-	addr := flag.String("addr", "127.0.0.1:8451", "listen address")
-	workers := flag.Int("workers", 0, "per-job worker pool size; 0 = GOMAXPROCS, 1 = sequential")
-	cacheDir := flag.String("cache", "", "shared on-disk result cache directory (empty disables)")
-	queue := flag.Int("queue", 16, "bounded job queue depth; submissions beyond it get 503")
-	runners := flag.Int("runners", 1, "jobs executed concurrently")
+	addr := flag.String("addr", envStr("CORONA_ADDR", "127.0.0.1:8451"), "listen address")
+	workers := flag.Int("workers", envInt("CORONA_WORKERS", 0), "per-job worker pool size; 0 = GOMAXPROCS, 1 = sequential")
+	cacheDir := flag.String("cache", envStr("CORONA_CACHE", ""), "shared on-disk result cache directory (empty disables)")
+	queue := flag.Int("queue", envInt("CORONA_QUEUE", 16), "bounded job queue depth; submissions beyond it get 503")
+	runners := flag.Int("runners", envInt("CORONA_RUNNERS", 1), "jobs executed concurrently")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
-	storeDir := flag.String("store", "", "durable job journal directory; restarts resume interrupted jobs (empty = in-memory only)")
-	logFormat := flag.String("log", "text", "log format: text or json")
+	storeDir := flag.String("store", envStr("CORONA_STORE", ""), "durable job journal directory; restarts resume interrupted jobs (empty = in-memory only)")
+	logFormat := flag.String("log", envStr("CORONA_LOG", "text"), "log format: text or json")
+	mode := flag.String("mode", envStr("CORONA_MODE", "worker"), "worker executes jobs locally; coordinator shards them across -peers")
+	peers := flag.String("peers", envStr("CORONA_PEERS", ""), "comma-separated worker base URLs (coordinator mode), e.g. http://w1:8451,http://w2:8451")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -81,6 +116,28 @@ func run() int {
 		return 2
 	}
 	log := slog.New(handler)
+
+	var peerClients []*server.Client
+	switch *mode {
+	case "worker":
+		if *peers != "" {
+			fmt.Fprintln(os.Stderr, "corona-serve: -peers requires -mode coordinator")
+			return 2
+		}
+	case "coordinator":
+		for _, u := range strings.Split(*peers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				peerClients = append(peerClients, server.NewClient(u))
+			}
+		}
+		if len(peerClients) == 0 {
+			fmt.Fprintln(os.Stderr, "corona-serve: -mode coordinator needs at least one -peers worker URL")
+			return 2
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "corona-serve: -mode %q: want worker or coordinator\n", *mode)
+		return 2
+	}
 
 	if spec := os.Getenv("CORONA_FAULTS"); spec != "" {
 		if err := faultinject.Arm(spec); err != nil {
@@ -109,13 +166,14 @@ func run() int {
 		Runners:    *runners,
 		Store:      st,
 		Logger:     log,
+		Peers:      peerClients,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Info("listening", "addr", "http://"+*addr, "queue", *queue,
-		"runners", *runners, "store", *storeDir)
+	log.Info("listening", "addr", "http://"+*addr, "mode", *mode, "fleet", len(peerClients),
+		"queue", *queue, "runners", *runners, "store", *storeDir)
 
 	select {
 	case err := <-errc:

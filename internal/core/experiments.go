@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync"
 
 	"corona/internal/config"
@@ -64,7 +65,7 @@ func NewMatrixSweep(configs []config.System, workloads []traffic.Spec, requests 
 // consumer can render "Done/Total" without its own locking, regardless of
 // how many workers are simulating.
 type Progress struct {
-	Done, Total int    // cells finished so far (including this one) / matrix size
+	Done, Total int    // cells finished so far (including this one) / cells this run executes (the matrix, or the Subset size)
 	Workload    string // the cell that just finished
 	Config      string
 	Cached      bool // satisfied from the on-disk cache, not simulated
@@ -96,6 +97,7 @@ type runConfig struct {
 	onCell      func(CellResult)
 	noWarmup    bool
 	precomputed map[int]Result
+	subset      []int
 }
 
 // Option configures one Sweep.Run invocation.
@@ -134,6 +136,21 @@ func Warmup(on bool) Option { return func(rc *runConfig) { rc.noWarmup = !on } }
 // byte-identical to what an uninterrupted run would have produced.
 func Precomputed(cells map[int]Result) Option {
 	return func(rc *runConfig) { rc.precomputed = cells }
+}
+
+// Subset restricts the run to the given linear cell indices
+// (Row*len(Configs)+Col): only those cells simulate, fill Results, and
+// surface through OnProgress/onCell — the shard-subset entry a fleet worker
+// executes when a coordinator hands it one slice of a campaign's matrix.
+// Because every cell is independent and self-seeded (CellSeed), a subset
+// cell's Result is byte-identical to the same cell of a full run, at any
+// worker count — which is what lets a coordinator scatter a matrix across
+// nodes and merge the shards back into a single-node-identical stream.
+// Indices out of range, duplicated, or an explicitly empty set are rejected
+// with a *ConfigError before anything simulates. A nil subset (the default)
+// runs the whole matrix.
+func Subset(indices []int) Option {
+	return func(rc *runConfig) { rc.subset = indices }
 }
 
 // onCell registers the streaming-consumer callback (Job.Results). Like
@@ -372,6 +389,10 @@ func (s *Sweep) Run(ctx context.Context, opts ...Option) error {
 	}
 	nc := len(s.Configs)
 	total := nc * len(s.Workloads)
+	order, err := subsetOrder(rc.subset, total)
+	if err != nil {
+		return err
+	}
 	s.Results = make([][]Result, len(s.Workloads))
 	for w := range s.Workloads {
 		s.Results[w] = make([]Result, nc)
@@ -383,6 +404,19 @@ func (s *Sweep) Run(ctx context.Context, opts ...Option) error {
 	for w := range rows {
 		rows[w] = &rowStreams{remaining: nc}
 	}
+	n := total
+	if order != nil {
+		// A subset run touches only its own cells: rows release their shared
+		// stream once the subset's cells of that row finish, and rows with no
+		// subset cells never materialize at all.
+		n = len(order)
+		for w := range rows {
+			rows[w].remaining = 0
+		}
+		for _, i := range order {
+			rows[i/nc].remaining++
+		}
+	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -390,7 +424,11 @@ func (s *Sweep) Run(ctx context.Context, opts ...Option) error {
 		done     int
 		firstErr error
 	)
-	NewPool(rc.workers).Run(runCtx, total, func(i int) {
+	NewPool(rc.workers).Run(runCtx, n, func(k int) {
+		i := k
+		if order != nil {
+			i = order[k]
+		}
 		w, c := i/nc, i%nc
 		defer rows[w].release()
 		cfg, spec := s.Configs[c], s.Workloads[w]
@@ -419,7 +457,7 @@ func (s *Sweep) Run(ctx context.Context, opts ...Option) error {
 		mu.Lock()
 		done++
 		if rc.progress != nil {
-			rc.progress(Progress{Done: done, Total: total,
+			rc.progress(Progress{Done: done, Total: n,
 				Workload: spec.Name, Config: cfg.Name(), Cached: cached})
 		}
 		if rc.onCell != nil {
@@ -432,9 +470,34 @@ func (s *Sweep) Run(ctx context.Context, opts ...Option) error {
 		return firstErr
 	}
 	if err := ctx.Err(); err != nil {
-		return &CanceledError{Completed: done, Total: total, Err: err}
+		return &CanceledError{Completed: done, Total: n, Err: err}
 	}
 	return nil
+}
+
+// subsetOrder validates and canonicalizes a Subset option against the matrix
+// size: a sorted copy of the indices for a subset run, nil for a full one.
+// Out-of-range or duplicate indices — and an explicitly empty subset — are
+// caller mistakes, rejected as *ConfigError before any cell simulates.
+func subsetOrder(subset []int, total int) ([]int, error) {
+	if subset == nil {
+		return nil, nil
+	}
+	if len(subset) == 0 {
+		return nil, &ConfigError{Name: "subset", Err: fmt.Errorf("core: Subset selects no cells")}
+	}
+	order := make([]int, len(subset))
+	copy(order, subset)
+	sort.Ints(order)
+	for k, i := range order {
+		if i < 0 || i >= total {
+			return nil, &ConfigError{Name: "subset", Err: fmt.Errorf("core: Subset index %d outside the %d-cell matrix", i, total)}
+		}
+		if k > 0 && order[k-1] == i {
+			return nil, &ConfigError{Name: "subset", Err: fmt.Errorf("core: Subset index %d duplicated", i)}
+		}
+	}
+	return order, nil
 }
 
 // validate pre-flights the matrix: every configuration must resolve against

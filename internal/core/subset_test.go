@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"corona/internal/config"
+)
+
+// subsetSweep builds a small 2-config x 3-workload matrix (6 cells) that
+// simulates in milliseconds.
+func subsetSweep() *Sweep {
+	return NewMatrixSweep(config.Combos()[:2], AllWorkloads()[:3], 300, 17)
+}
+
+// TestSubsetMatchesFullRun is the shard-subset determinism contract: the
+// matrix split into 1, 2, or 5 disjoint index shards — each executed as an
+// independent Subset run, as a fleet's workers would — reassembles into a
+// Results grid field-identical to one full run, and every shard surfaces
+// exactly its own cells through the streaming callback.
+func TestSubsetMatchesFullRun(t *testing.T) {
+	ref := subsetSweep()
+	if err := ref.Run(context.Background(), Workers(1)); err != nil {
+		t.Fatal(err)
+	}
+	total := len(ref.Configs) * len(ref.Workloads)
+
+	for _, shards := range [][][]int{
+		{{0, 1, 2, 3, 4, 5}},
+		{{0, 1, 2}, {3, 4, 5}},
+		{{0, 1}, {2}, {3}, {4}, {5}},
+	} {
+		merged := subsetSweep()
+		merged.Results = make([][]Result, len(merged.Workloads))
+		for w := range merged.Results {
+			merged.Results[w] = make([]Result, len(merged.Configs))
+		}
+		for _, shard := range shards {
+			s := subsetSweep()
+			want := map[int]bool{}
+			for _, i := range shard {
+				want[i] = true
+			}
+			err := s.Run(context.Background(), Workers(2), Subset(shard),
+				onCell(func(cell CellResult) {
+					if !want[cell.Index] {
+						t.Errorf("%d shards: shard %v surfaced foreign cell %d", len(shards), shard, cell.Index)
+					}
+					merged.Results[cell.Row][cell.Col] = cell.Result
+				}))
+			if err != nil {
+				t.Fatalf("%d shards: shard %v: %v", len(shards), shard, err)
+			}
+			// The shard's own grid holds only its cells; others stay zero.
+			for i := 0; i < total; i++ {
+				got := s.Results[i/len(s.Configs)][i%len(s.Configs)]
+				if want[i] && got.Cycles == 0 {
+					t.Errorf("%d shards: shard %v left its cell %d empty", len(shards), shard, i)
+				}
+				if !want[i] && got.Cycles != 0 {
+					t.Errorf("%d shards: shard %v simulated foreign cell %d", len(shards), shard, i)
+				}
+			}
+		}
+		if !reflect.DeepEqual(merged.Results, ref.Results) {
+			t.Errorf("%d shards: merged subset results differ from the full run", len(shards))
+		}
+	}
+}
+
+// TestSubsetRejectsBadIndices pins the pre-flight validation: out-of-range,
+// duplicate, and explicitly empty subsets are *ConfigError before any cell
+// simulates.
+func TestSubsetRejectsBadIndices(t *testing.T) {
+	for name, subset := range map[string][]int{
+		"negative":     {-1},
+		"out of range": {0, 6},
+		"duplicate":    {1, 2, 1},
+		"empty":        {},
+	} {
+		s := subsetSweep()
+		ran := false
+		err := s.Run(context.Background(), Subset(subset), onCell(func(CellResult) { ran = true }))
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s subset %v: err = %v, want *ConfigError", name, subset, err)
+		}
+		if ran {
+			t.Errorf("%s subset %v: cells simulated despite rejection", name, subset)
+		}
+	}
+}
+
+// TestSubsetWithPrecomputed pins the resume-on-a-shard path a fleet worker
+// re-runs after a crash: precomputed cells inside the subset surface as
+// cached without simulating, precomputed cells outside it stay silent.
+func TestSubsetWithPrecomputed(t *testing.T) {
+	ref := subsetSweep()
+	if err := ref.Run(context.Background(), Workers(1)); err != nil {
+		t.Fatal(err)
+	}
+	pre := map[int]Result{
+		1: ref.Results[0][1], // inside the subset
+		4: ref.Results[2][0], // outside it
+	}
+	s := subsetSweep()
+	got := map[int]CellResult{}
+	err := s.Run(context.Background(), Workers(1), Subset([]int{0, 1, 2}), Precomputed(pre),
+		onCell(func(cell CellResult) { got[cell.Index] = cell }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("surfaced %d cells, want 3: %v", len(got), got)
+	}
+	if !got[1].Cached {
+		t.Error("precomputed subset cell 1 not marked cached")
+	}
+	if _, ok := got[4]; ok {
+		t.Error("precomputed cell 4 outside the subset surfaced anyway")
+	}
+	for i := 0; i < 3; i++ {
+		if want := ref.Results[i/2][i%2]; !reflect.DeepEqual(got[i].Result, want) {
+			t.Errorf("cell %d differs from the full run", i)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,8 +19,15 @@ import (
 // backpressure is designed for: a 503 (queue full, shutting down) is retried
 // with jittered exponential backoff, honoring the server's Retry-After hint
 // as a floor, while 4xx responses — the caller's mistake — surface
-// immediately. The jitter is deterministic in the client's seed, so tests
-// (and reproductions of production retry storms) replay exactly.
+// immediately. Transient transport failures (connection refused or reset, a
+// dropped response — the signature of a worker daemon restarting) retry
+// under the same envelope; only a canceled or expired context aborts
+// immediately. A retried request may reach a daemon that already accepted
+// the previous attempt (the response was lost, not the request), so a
+// submit retry can duplicate a job — harmless under deterministic seeding,
+// but worth knowing when counting jobs. The jitter is deterministic in the
+// client's seed, so tests (and reproductions of production retry storms)
+// replay exactly.
 type Client struct {
 	base    string
 	hc      *http.Client
@@ -86,6 +94,9 @@ func NewClient(baseURL string, opts ...ClientOption) *Client {
 	return c
 }
 
+// BaseURL returns the daemon address this client targets.
+func (c *Client) BaseURL() string { return c.base }
+
 // APIError is a non-2xx response that was not retried away: the status code
 // plus the server's error message.
 type APIError struct {
@@ -133,9 +144,9 @@ func retryAfter(resp *http.Response) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
-// do issues one request, retrying 503s with backoff. body may be nil; it is
-// re-sent from the buffer on every attempt. The caller owns the returned
-// response body.
+// do issues one request, retrying 503s and transient transport errors with
+// backoff. body may be nil; it is re-sent from the buffer on every attempt.
+// The caller owns the returned response body.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
@@ -151,7 +162,16 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
-			return nil, err
+			// A transport-level failure — connection refused, reset, the
+			// daemon restarting mid-handshake — is retried like a 503; a
+			// dead context is the caller's signal and never is.
+			if attempt >= c.retries || !transientError(err) {
+				return nil, err
+			}
+			if err := c.sleep(ctx, c.backoff(attempt, 0)); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if resp.StatusCode != http.StatusServiceUnavailable || attempt >= c.retries {
 			return resp, nil
@@ -162,6 +182,14 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 			return nil, err
 		}
 	}
+}
+
+// transientError reports whether a Do failure is worth retrying: everything
+// the transport can throw (refused, reset, EOF, a dropped connection) except
+// a canceled or expired context, which reflects the caller's deadline, not
+// the server's health.
+func transientError(err error) bool {
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }
 
 // decode reads the response, mapping non-2xx to *APIError and 2xx JSON into
@@ -216,28 +244,46 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobView, error) {
 	return v, decode(resp, &v)
 }
 
-// Results streams the job's NDJSON results to completion and returns every
-// cell, following the job live until it reaches a terminal state.
-func (c *Client) Results(ctx context.Context, id string) ([]core.CellResult, error) {
+// Stream follows the job's NDJSON results live, invoking fn for each cell as
+// the daemon emits it, until the stream ends (the job reached a terminal
+// state, or the connection broke — the returned error distinguishes the
+// two), ctx is done, or fn returns an error (returned as-is). It is the
+// incremental form of Results a fleet coordinator merges shards through:
+// cells already received stay received even when the stream dies mid-job.
+// Note the stream itself is never transparently re-dialed — a broken stream
+// returns an error so the caller can decide what is missing.
+func (c *Client) Stream(ctx context.Context, id string, fn func(core.CellResult) error) error {
 	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/results", nil)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, decode(resp, nil)
+		return decode(resp, nil)
 	}
 	defer resp.Body.Close()
-	var cells []core.CellResult
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
 		var cell core.CellResult
 		if err := json.Unmarshal(sc.Bytes(), &cell); err != nil {
-			return cells, fmt.Errorf("server: bad NDJSON line: %w", err)
+			return fmt.Errorf("server: bad NDJSON line: %w", err)
 		}
-		cells = append(cells, cell)
+		if err := fn(cell); err != nil {
+			return err
+		}
 	}
-	return cells, sc.Err()
+	return sc.Err()
+}
+
+// Results streams the job's NDJSON results to completion and returns every
+// cell, following the job live until it reaches a terminal state.
+func (c *Client) Results(ctx context.Context, id string) ([]core.CellResult, error) {
+	var cells []core.CellResult
+	err := c.Stream(ctx, id, func(cell core.CellResult) error {
+		cells = append(cells, cell)
+		return nil
+	})
+	return cells, err
 }
 
 // Wait polls the job until it reaches a terminal state and returns the final

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -117,6 +118,105 @@ func TestClientRetriesExhaust(t *testing.T) {
 	}
 	if calls.Load() != 4 || len(delays) != 3 {
 		t.Fatalf("%d calls, %d backoffs; want 4 and 3", calls.Load(), len(delays))
+	}
+}
+
+// droppingListener closes the first drop accepted connections before any
+// byte is served — the transport signature of a daemon restarting (the port
+// answers, the process is not there yet) — then hands connections through.
+type droppingListener struct {
+	net.Listener
+	drop int32
+}
+
+func (l *droppingListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if atomic.AddInt32(&l.drop, -1) >= 0 {
+			conn.Close()
+			continue
+		}
+		return conn, nil
+	}
+}
+
+// TestClientRetriesTransportErrors drops the first three connections on the
+// floor: the client must back off and land the request on the fourth, since
+// a fleet coordinator's worker restarting mid-campaign looks exactly like
+// this.
+func TestClientRetriesTransportErrors(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id": "job-000001", "status": "queued", "total": 2}`))
+	})}
+	go hs.Serve(&droppingListener{Listener: ln, drop: 3})
+	defer hs.Close()
+
+	var delays []time.Duration
+	// Connection reuse off: a kept-alive connection would dodge the dropped
+	// accepts this test exists to exercise.
+	hc := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	c := NewClient("http://"+ln.Addr().String(), WithHTTPClient(hc), recordedSleeps(&delays))
+	v, err := c.Submit(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatalf("Submit through 3 dropped connections: %v", err)
+	}
+	if v.ID != "job-000001" || calls.Load() != 1 {
+		t.Fatalf("view %+v after %d served calls", v, calls.Load())
+	}
+	if len(delays) != 3 {
+		t.Fatalf("backed off %d times, want 3", len(delays))
+	}
+}
+
+// TestClientTransportRetriesExhaust points the client at a port nothing
+// listens on: every attempt fails at the transport, the retry budget drains,
+// and the final connection error surfaces (not an APIError — there was no
+// HTTP exchange to report).
+func TestClientTransportRetriesExhaust(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // now connections are refused
+
+	var delays []time.Duration
+	c := NewClient("http://"+addr, WithRetries(2), recordedSleeps(&delays))
+	_, err = c.Submit(context.Background(), []byte(`{}`))
+	if err == nil {
+		t.Fatal("Submit against a closed port succeeded")
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("transport failure surfaced as APIError %v", ae)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("backed off %d times, want the full budget of 2", len(delays))
+	}
+}
+
+// TestClientDoesNotRetryCanceledContext pins the exception: a dead context
+// aborts immediately, no matter how transient the transport failure looks.
+func TestClientDoesNotRetryCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var delays []time.Duration
+	c := NewClient("http://127.0.0.1:0", recordedSleeps(&delays))
+	if _, err := c.Submit(ctx, []byte(`{}`)); err == nil {
+		t.Fatal("Submit with a canceled context succeeded")
+	}
+	if len(delays) != 0 {
+		t.Fatalf("backed off %d times on a canceled context, want 0", len(delays))
 	}
 }
 

@@ -1,0 +1,348 @@
+package server
+
+// Fleet coordination: a Server built with Options.Peers does not simulate
+// anything itself. Each submitted campaign's cell matrix is split into
+// contiguous index shards — one per worker — and every shard is dispatched
+// to a worker daemon as a shard sub-job: the campaign's own scenario body
+// with a "cells" selector riding it, executed by the worker through
+// core.Subset. Because every cell is independently seeded (core.CellSeed),
+// a cell computes the identical Result on any node, so the coordinator can
+// merge shard streams back into one index-ordered result stream that is
+// byte-identical (after index sort) to a single-node run of the same
+// scenario — the property the fleet determinism suite pins.
+//
+// Failure handling rides the durability substrate: the worker client
+// retries 503 backpressure and transient transport errors with backoff, and
+// when a shard sub-job still dies — the worker crashed, was restarted, or
+// failed the sub-job — the coordinator re-dispatches exactly the cells it
+// has not yet received to the next worker in round-robin order, up to a
+// bounded number of attempts. Received cells are never re-run, and
+// determinism makes retried cells indistinguishable from first-try ones.
+// With a Store configured the coordinator journals merged cells like any
+// daemon, so a restarted coordinator re-dispatches only the missing ones.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"corona/internal/core"
+)
+
+// maxShardAttempts bounds how many sub-job dispatches one shard may consume
+// before its campaign fails: enough to walk the whole fleet twice (every
+// worker gets a second chance after transient trouble), never fewer than 4
+// so tiny fleets still ride out a worker restart.
+func (s *Server) maxShardAttempts() int {
+	if n := 2 * len(s.peers); n > 4 {
+		return n
+	}
+	return 4
+}
+
+// runFleetJob executes one campaign by scattering its cells across the
+// worker fleet and merging the shard streams. Its lifecycle mirrors
+// runJob's exactly — same states, same journal semantics, same shutdown
+// behavior — only the execution engine differs.
+func (s *Server) runFleetJob(j *job) {
+	defer s.containPanic(j)
+	ctx, cancel, from, ok := s.startJob(j)
+	if !ok {
+		return
+	}
+	defer cancel()
+	j.mu.Lock()
+	resumedCells := len(j.restored)
+	j.mu.Unlock()
+	s.log.Info("fleet job running", "job", j.id, "from", from, "total", j.total,
+		"resumed_cells", resumedCells, "fleet", len(s.peers), "timeout", j.timeout)
+	started := time.Now()
+
+	var err error
+	if needed := s.neededCells(j); len(needed) > 0 {
+		err = s.dispatchShards(ctx, j, needed)
+	}
+	s.finishJob(j, err, started)
+}
+
+// neededCells returns, in ascending order, the cell indices the campaign
+// still has to produce: its full matrix (or submitted subset) minus the
+// cells a resumed job already restored from the journal.
+func (s *Server) neededCells(j *job) []int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	all := j.subset
+	if all == nil {
+		total := len(j.scenario.Configs) * len(j.scenario.Workloads)
+		all = make([]int, total)
+		for i := range all {
+			all[i] = i
+		}
+	}
+	needed := make([]int, 0, len(all)-len(j.restored))
+	for _, i := range all {
+		if !j.restored[i] {
+			needed = append(needed, i)
+		}
+	}
+	sort.Ints(needed)
+	return needed
+}
+
+// dispatchShards splits the needed cells into one contiguous shard per
+// worker and runs every shard dispatcher concurrently; the first definitive
+// shard failure cancels the rest of the campaign.
+func (s *Server) dispatchShards(ctx context.Context, j *job, needed []int) error {
+	shards := splitShards(needed, len(s.peers))
+	m := &fleetMerge{
+		s:     s,
+		j:     j,
+		order: needed,
+		pend:  make(map[int]core.CellResult),
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for k := range shards {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if err := s.runShard(runCtx, j, m, shards[k], k); err != nil {
+				errs[k] = err
+				cancel()
+			}
+		}(k)
+	}
+	wg.Wait()
+	// A real failure outranks the cancellations it caused in the sibling
+	// shards; with none, the outer context's verdict (deadline, user
+	// cancel, shutdown) is the story.
+	for _, err := range errs {
+		if err != nil && !isCancellation(err) {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitShards chunks the (ascending) indices into at most n contiguous,
+// near-equal runs — the static sharding a fleet inherits from the sweep
+// engine: which worker owns a cell affects wall-clock only, never results.
+func splitShards(indices []int, n int) [][]int {
+	if n > len(indices) {
+		n = len(indices)
+	}
+	shards := make([][]int, 0, n)
+	for k := 0; k < n; k++ {
+		lo, hi := k*len(indices)/n, (k+1)*len(indices)/n
+		shards = append(shards, indices[lo:hi])
+	}
+	return shards
+}
+
+// runShard drives one shard to completion: dispatch the missing cells to a
+// worker as a sub-job, stream its results into the merge, and — when the
+// worker dies or the sub-job ends without delivering everything — move the
+// remainder to the next worker, round-robin, within the attempt budget.
+func (s *Server) runShard(ctx context.Context, j *job, m *fleetMerge, shard []int, k int) error {
+	inShard := make(map[int]bool, len(shard))
+	for _, i := range shard {
+		inShard[i] = true
+	}
+	got := make(map[int]bool, len(shard))
+	wk := k % len(s.peers)
+	var lastErr error
+	for attempt := 0; len(got) < len(shard); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt >= s.maxShardAttempts() {
+			return fmt.Errorf("shard %d: %d of %d cells undone after %d dispatches: %w",
+				k, len(shard)-len(got), len(shard), attempt, lastErr)
+		}
+		if attempt > 0 {
+			s.fleet.noteRetry()
+		}
+		missing := make([]int, 0, len(shard)-len(got))
+		for _, i := range shard {
+			if !got[i] {
+				missing = append(missing, i)
+			}
+		}
+		peer, name := s.peers[wk], s.peerNames[wk]
+		wk = (wk + 1) % len(s.peers)
+		body, err := shardBody(j.raw, missing)
+		if err != nil {
+			return fmt.Errorf("shard %d: building sub-job body: %w", k, err)
+		}
+		s.fleet.noteDispatch(name)
+		sub, err := peer.Submit(ctx, body)
+		if err != nil {
+			lastErr = fmt.Errorf("worker %s: submit: %w", name, err)
+			s.log.Warn("shard dispatch failed", "job", j.id, "shard", k,
+				"worker", name, "attempt", attempt+1, "err", err)
+			continue
+		}
+		s.log.Info("shard dispatched", "job", j.id, "shard", k, "worker", name,
+			"sub_job", sub.ID, "cells", len(missing), "attempt", attempt+1)
+		streamErr := peer.Stream(ctx, sub.ID, func(cell core.CellResult) error {
+			if !inShard[cell.Index] || got[cell.Index] {
+				return nil
+			}
+			got[cell.Index] = true
+			m.add(cell)
+			return nil
+		})
+		if ctx.Err() != nil {
+			// The campaign is over (cancel, deadline, shutdown): stop the
+			// worker's sub-job rather than letting it burn cycles.
+			stopCtx, stop := context.WithTimeout(context.Background(), 2*time.Second)
+			peer.Cancel(stopCtx, sub.ID)
+			stop()
+			return ctx.Err()
+		}
+		if streamErr != nil {
+			lastErr = fmt.Errorf("worker %s: stream of %s: %w", name, sub.ID, streamErr)
+			s.log.Warn("shard stream broke; retrying missing cells", "job", j.id,
+				"shard", k, "worker", name, "done", len(got), "of", len(shard), "err", streamErr)
+			continue
+		}
+		if len(got) == len(shard) {
+			break
+		}
+		// The stream ended cleanly but cells are missing: the sub-job failed
+		// or was canceled on the worker. Record its verdict and retry.
+		if v, verr := peer.Status(ctx, sub.ID); verr != nil {
+			lastErr = fmt.Errorf("worker %s: sub-job %s status: %w", name, sub.ID, verr)
+		} else {
+			lastErr = fmt.Errorf("worker %s: sub-job %s ended %s: %s", name, sub.ID, v.Status, v.Error)
+		}
+		s.log.Warn("shard sub-job incomplete; retrying missing cells", "job", j.id,
+			"shard", k, "worker", name, "done", len(got), "of", len(shard), "err", lastErr)
+	}
+	return nil
+}
+
+// shardBody rewrites the campaign's scenario body into a worker sub-job:
+// the same scenario with a "cells" selector for exactly the given indices,
+// and no timeout — the coordinator owns the campaign's deadline and
+// enforces it by canceling sub-jobs.
+func shardBody(raw json.RawMessage, cells []int) ([]byte, error) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, err
+	}
+	delete(m, "timeout")
+	sel, err := json.Marshal(cellSelector(cells))
+	if err != nil {
+		return nil, err
+	}
+	m["cells"] = sel
+	return json.Marshal(m)
+}
+
+// cellSelector compresses a sorted index list into the range form when it
+// is one contiguous run — the common case for a first dispatch; retries of
+// a partially-delivered shard fall back to the explicit list.
+func cellSelector(cells []int) *cellRange {
+	contiguous := len(cells) > 0
+	for i := 1; i < len(cells); i++ {
+		if cells[i] != cells[i-1]+1 {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		lo, hi := cells[0], cells[len(cells)-1]+1
+		return &cellRange{Lo: &lo, Hi: &hi}
+	}
+	return &cellRange{List: cells}
+}
+
+// fleetMerge reassembles shard streams into the job's cell list in strictly
+// ascending index order: a cell arriving out of order parks in pend until
+// every lower needed index has been released. Index order makes the
+// coordinator's stream deterministic — byte-identical across fleet sizes,
+// retry schedules, and completion races — where a single node's stream is
+// only deterministic up to reordering.
+type fleetMerge struct {
+	s     *Server
+	j     *job
+	mu    sync.Mutex
+	order []int // the needed indices, ascending
+	next  int   // position in order of the next index to release
+	pend  map[int]core.CellResult
+}
+
+// add parks the cell and releases the longest now-contiguous prefix to the
+// job (observers wake per cell, the journal gets every release). Shard
+// dispatchers dedup before calling, so add never sees an index twice.
+func (m *fleetMerge) add(cell core.CellResult) {
+	m.mu.Lock()
+	m.pend[cell.Index] = cell
+	var release []core.CellResult
+	for m.next < len(m.order) {
+		c, ok := m.pend[m.order[m.next]]
+		if !ok {
+			break
+		}
+		delete(m.pend, m.order[m.next])
+		release = append(release, c)
+		m.next++
+	}
+	m.mu.Unlock()
+	for _, c := range release {
+		m.j.mu.Lock()
+		m.j.cells = append(m.j.cells, c)
+		m.j.cond.Broadcast()
+		m.j.mu.Unlock()
+		m.s.persistCell(m.j.id, c)
+		m.s.cellsDone.Add(1)
+	}
+}
+
+// fleetMetrics counts shard dispatches per worker and shard retries, for
+// the coordinator's /metrics export.
+type fleetMetrics struct {
+	mu         sync.Mutex
+	dispatched map[string]uint64
+	retries    uint64
+}
+
+func (f *fleetMetrics) noteDispatch(worker string) {
+	f.mu.Lock()
+	if f.dispatched == nil {
+		f.dispatched = make(map[string]uint64)
+	}
+	f.dispatched[worker]++
+	f.mu.Unlock()
+}
+
+func (f *fleetMetrics) noteRetry() {
+	f.mu.Lock()
+	f.retries++
+	f.mu.Unlock()
+}
+
+// snapshot copies the counters for a scrape.
+func (f *fleetMetrics) snapshot() (dispatched map[string]uint64, retries uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dispatched = make(map[string]uint64, len(f.dispatched))
+	for w, n := range f.dispatched {
+		dispatched[w] = n
+	}
+	return dispatched, f.retries
+}

@@ -1,0 +1,140 @@
+package server
+
+// GET /metrics: a hand-rolled Prometheus text-format (version 0.0.4) export
+// of the daemon's operational surface — no client library, because the
+// whole format is "# HELP / # TYPE / name{labels} value" lines and a
+// dependency would outweigh it. Everything /healthz reports is here in
+// scrapeable form, plus throughput (a cells/sec gauge computed over a short
+// window of recent scrapes) and, on a coordinator, the fleet dispatch and
+// retry counters.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// scrapeSample is one (when, cellsDone) observation; the server keeps a
+// short ring of them so corona_cells_per_second reflects recent throughput
+// rather than a lifetime average diluted by idle hours.
+type scrapeSample struct {
+	at    time.Time
+	cells uint64
+}
+
+// scrape windowing: samples older than rateWindow no longer inform the
+// cells/sec gauge, and the ring never grows past scrapeKeep entries.
+const (
+	rateWindow = 60 * time.Second
+	scrapeKeep = 32
+)
+
+// cellRate records a scrape observation and returns cells completed per
+// second over the retained window: the delta against the oldest in-window
+// sample. The first scrape (nothing to diff against) reports zero.
+func (s *Server) cellRate(now time.Time, cells uint64) float64 {
+	s.mxMu.Lock()
+	defer s.mxMu.Unlock()
+	keep := s.mxScrape[:0]
+	for _, smp := range s.mxScrape {
+		if now.Sub(smp.at) <= rateWindow {
+			keep = append(keep, smp)
+		}
+	}
+	s.mxScrape = keep
+	var rate float64
+	if len(s.mxScrape) > 0 {
+		oldest := s.mxScrape[0]
+		if dt := now.Sub(oldest.at).Seconds(); dt > 0 && cells >= oldest.cells {
+			rate = float64(cells-oldest.cells) / dt
+		}
+	}
+	s.mxScrape = append(s.mxScrape, scrapeSample{at: now, cells: cells})
+	if len(s.mxScrape) > scrapeKeep {
+		s.mxScrape = s.mxScrape[len(s.mxScrape)-scrapeKeep:]
+	}
+	return rate
+}
+
+// metricsView is the point-in-time state a scrape renders: counts by job
+// status plus the queue and store signals /healthz also reports.
+type metricsView struct {
+	byStatus map[string]int
+	queued   int
+	capacity int
+	storeOK  float64 // 1 healthy, 0 wedged; absent when no store
+	hasStore bool
+}
+
+func (s *Server) metricsSnapshot() metricsView {
+	v := metricsView{byStatus: make(map[string]int), capacity: s.depth}
+	s.mu.Lock()
+	v.queued = len(s.queue)
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		v.byStatus[j.status]++
+		j.mu.Unlock()
+	}
+	if s.st != nil {
+		v.hasStore = true
+		if s.st.Err() == nil {
+			v.storeOK = 1
+		}
+	}
+	return v
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	cells := s.cellsDone.Load()
+	rate := s.cellRate(now, cells)
+	v := s.metricsSnapshot()
+
+	var b strings.Builder
+	gauge := func(name, help string, value float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		fmt.Fprintf(&b, "%s %g\n", name, value)
+	}
+	counter := func(name, help string, value float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		fmt.Fprintf(&b, "%s %g\n", name, value)
+	}
+
+	fmt.Fprintf(&b, "# HELP corona_jobs Jobs in the registry by lifecycle status.\n# TYPE corona_jobs gauge\n")
+	for _, st := range []string{statusQueued, statusResuming, statusRunning,
+		statusDone, statusFailed, statusCanceled, statusTimedOut} {
+		fmt.Fprintf(&b, "corona_jobs{status=%q} %d\n", st, v.byStatus[st])
+	}
+	gauge("corona_queue_depth", "Jobs waiting in the admission queue.", float64(v.queued))
+	gauge("corona_queue_capacity", "Admission queue bound; depth at capacity means 503s.", float64(v.capacity))
+	counter("corona_cells_completed_total", "Sweep cells completed (or restored from the journal) since start.", float64(cells))
+	gauge("corona_cells_per_second", "Cell completion rate over the recent scrape window.", rate)
+	if v.hasStore {
+		gauge("corona_store_healthy", "1 while the journal store accepts appends, 0 once wedged.", v.storeOK)
+	}
+	gauge("corona_uptime_seconds", "Seconds since the daemon started.", now.Sub(s.started).Seconds())
+
+	if len(s.peers) > 0 {
+		gauge("corona_fleet_workers", "Worker daemons this coordinator dispatches shards to.", float64(len(s.peers)))
+		dispatched, retries := s.fleet.snapshot()
+		fmt.Fprintf(&b, "# HELP corona_fleet_shards_dispatched_total Shard sub-jobs dispatched, by worker.\n# TYPE corona_fleet_shards_dispatched_total counter\n")
+		workers := make([]string, 0, len(s.peerNames))
+		workers = append(workers, s.peerNames...)
+		sort.Strings(workers)
+		for _, wk := range workers {
+			fmt.Fprintf(&b, "corona_fleet_shards_dispatched_total{worker=%q} %d\n", wk, dispatched[wk])
+		}
+		counter("corona_fleet_shard_retries_total", "Shard dispatches beyond the first attempt (worker failures ridden out).", float64(retries))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String()))
+}

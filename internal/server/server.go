@@ -54,9 +54,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"corona/internal/core"
+	"corona/internal/faultinject"
 	"corona/internal/noc"
 	"corona/internal/store"
 )
@@ -90,6 +92,12 @@ type Options struct {
 	Store *store.Store
 	// Logger receives structured job-lifecycle logs. Nil uses slog.Default().
 	Logger *slog.Logger
+	// Peers turns the daemon into a fleet coordinator: submitted campaigns
+	// are split into contiguous cell shards, dispatched to these worker
+	// daemons as shard sub-jobs, merged into one index-ordered stream, and
+	// retried on surviving workers when a worker fails. Empty (the default)
+	// executes jobs locally through Client.
+	Peers []*Client
 }
 
 // Server owns the job registry, the bounded queue, and the runner pool.
@@ -102,6 +110,18 @@ type Server struct {
 	depth   int // configured queue depth (the admission bound)
 	st      *store.Store
 	log     *slog.Logger
+
+	// Fleet coordination (empty on a plain daemon): the worker clients,
+	// their display names, and the dispatch/retry counters /metrics exports.
+	peers     []*Client
+	peerNames []string
+	fleet     fleetMetrics
+
+	started   time.Time     // for /metrics uptime
+	cellsDone atomic.Uint64 // cells appended to any job, for /metrics
+
+	mxMu     sync.Mutex     // guards the cells/sec scrape window
+	mxScrape []scrapeSample // recent (time, cellsDone) samples
 
 	ctx    context.Context // canceled by Close: stops every running job
 	cancel context.CancelFunc
@@ -145,9 +165,14 @@ func New(opts Options) *Server {
 		depth:   opts.QueueDepth,
 		st:      opts.Store,
 		log:     opts.Logger,
+		peers:   opts.Peers,
+		started: time.Now(),
 		ctx:     ctx,
 		cancel:  cancel,
 		jobs:    make(map[string]*job),
+	}
+	for _, p := range s.peers {
+		s.peerNames = append(s.peerNames, p.BaseURL())
 	}
 	resumed := s.restoreJobs()
 	// Resumed jobs get dedicated queue slots so a full restart never
@@ -186,7 +211,7 @@ func (s *Server) restoreJobs() []*job {
 		}
 		if js.Status != "" {
 			j.status, j.errMsg = js.Status, js.Error
-		} else if sc, err := core.ParseScenario(js.Scenario); err != nil {
+		} else if sc, subset, err := reparseSubmission(js.Scenario); err != nil {
 			// The stored scenario no longer parses (schema drift, registry
 			// change): fail it durably rather than retrying forever.
 			j.status = statusFailed
@@ -194,7 +219,7 @@ func (s *Server) restoreJobs() []*job {
 			s.persistStatus(js.ID, statusFailed, j.errMsg)
 			s.log.Error("job resume rejected", "job", js.ID, "err", err)
 		} else {
-			j.scenario = sc
+			j.scenario, j.subset, j.raw = sc, subset, js.Scenario
 			j.status = statusResuming
 			j.restored = make(map[int]bool, len(js.Cells))
 			for _, c := range js.Cells {
@@ -208,6 +233,21 @@ func (s *Server) restoreJobs() []*job {
 		s.order = append(s.order, j.id)
 	}
 	return resumed
+}
+
+// reparseSubmission re-derives a journaled job's scenario and shard subset
+// from the raw body the submit recorded; the stored Timeout field carries
+// the deadline, so the extras timeout is not re-read here.
+func reparseSubmission(body json.RawMessage) (*core.Scenario, []int, error) {
+	sc, err := core.ParseScenario(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, subset, err := parseExtras(body, len(sc.Configs)*len(sc.Workloads))
+	if err != nil {
+		return nil, nil, err
+	}
+	return sc, subset, nil
 }
 
 // parseJobID extracts the sequence number from a "job-NNNNNN" id, 0 when it
@@ -246,6 +286,7 @@ func (s *Server) Close() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -279,6 +320,13 @@ type job struct {
 	submitted time.Time
 	timeout   time.Duration
 
+	// subset is the shard-subset of matrix indices this job executes (the
+	// submission's "cells" field); nil runs the full matrix. raw is the
+	// submitted scenario body, kept for fleet dispatch (the coordinator
+	// rewrites it per shard) and recovered from the journal on resume.
+	subset []int
+	raw    json.RawMessage
+
 	// restored marks cell indices replayed from the journal (resumed jobs
 	// only): they are already in cells, already durable, and must not be
 	// double-appended when the resumed sweep re-surfaces them.
@@ -293,13 +341,19 @@ type job struct {
 	cancel   context.CancelFunc // non-nil while running
 }
 
-func newJob(id string, sc *core.Scenario, timeout time.Duration) *job {
+func newJob(id string, sc *core.Scenario, timeout time.Duration, subset []int, raw json.RawMessage) *job {
+	total := len(sc.Configs) * len(sc.Workloads)
+	if subset != nil {
+		total = len(subset)
+	}
 	j := &job{
 		id:        id,
 		scenario:  sc,
-		total:     len(sc.Configs) * len(sc.Workloads),
+		total:     total,
 		submitted: time.Now().UTC(),
 		timeout:   timeout,
+		subset:    subset,
+		raw:       raw,
 		status:    statusQueued,
 	}
 	j.cond = sync.NewCond(&j.mu)
@@ -378,100 +432,77 @@ func (s *Server) persistStatus(id, status, errMsg string) {
 	}
 }
 
-// runner executes queued jobs until the queue closes.
+// runner executes queued jobs until the queue closes: locally on a plain
+// daemon, scattered across the worker fleet on a coordinator.
 func (s *Server) runner() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		s.runJob(j)
+		if len(s.peers) > 0 {
+			s.runFleetJob(j)
+		} else {
+			s.runJob(j)
+		}
 	}
 }
 
-func (s *Server) runJob(j *job) {
-	// Backstop barrier: core already converts cell panics into errors, so
-	// anything recovered here is a bug in the job plumbing itself — fail
-	// the one job, keep the daemon and its sibling jobs alive.
-	defer func() {
-		if v := recover(); v != nil {
-			msg := fmt.Sprintf("job runner panicked: %v", v)
-			s.log.Error("job runner panic contained", "job", j.id, "panic", v,
-				"stack", string(debug.Stack()))
-			j.mu.Lock()
-			if !j.terminal() {
-				j.status, j.errMsg = statusFailed, msg
-				j.cancel = nil
-				j.cond.Broadcast()
-				j.mu.Unlock()
-				s.persistStatus(j.id, statusFailed, msg)
-				return
-			}
+// containPanic is the runner's backstop barrier, installed with defer: core
+// already converts cell panics into errors, so anything recovered here is a
+// bug in the job plumbing itself — fail the one job, keep the daemon and
+// its sibling jobs alive.
+func (s *Server) containPanic(j *job) {
+	if v := recover(); v != nil {
+		msg := fmt.Sprintf("job runner panicked: %v", v)
+		s.log.Error("job runner panic contained", "job", j.id, "panic", v,
+			"stack", string(debug.Stack()))
+		j.mu.Lock()
+		if !j.terminal() {
+			j.status, j.errMsg = statusFailed, msg
+			j.cancel = nil
+			j.cond.Broadcast()
 			j.mu.Unlock()
+			s.persistStatus(j.id, statusFailed, msg)
+			return
 		}
-	}()
+		j.mu.Unlock()
+	}
+}
 
+// startJob moves a dequeued job into "running": it installs the cancel
+// function (bounded by the job's deadline when one was submitted) and
+// returns the run context. ok=false means there is nothing to run — the job
+// was finalized while queued, or the daemon is shutting down, in which case
+// the job is marked canceled WITHOUT a journaled terminal status so the
+// next daemon on this store resumes it.
+func (s *Server) startJob(j *job) (ctx context.Context, cancel context.CancelFunc, from string, ok bool) {
 	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.terminal() {
 		// Canceled while queued: handleCancel already finalized the state.
-		j.mu.Unlock()
-		return
+		return nil, nil, "", false
 	}
 	if j.canceled || s.ctx.Err() != nil {
-		// Shutdown before start: leave the journal without a terminal
-		// status so the next daemon resumes this job.
 		j.status = statusCanceled
 		j.errMsg = "canceled before start"
 		j.cond.Broadcast()
-		j.mu.Unlock()
-		return
+		return nil, nil, "", false
 	}
-	var ctx context.Context
-	var cancel context.CancelFunc
 	if j.timeout > 0 {
 		ctx, cancel = context.WithTimeout(s.ctx, j.timeout)
 	} else {
 		ctx, cancel = context.WithCancel(s.ctx)
 	}
 	j.cancel = cancel
-	from := j.status
+	from = j.status
 	j.status = statusRunning
 	j.cond.Broadcast()
-	resumedCells := len(j.restored)
-	j.mu.Unlock()
-	defer cancel()
-	s.log.Info("job running", "job", j.id, "from", from,
-		"total", j.total, "resumed_cells", resumedCells, "timeout", j.timeout)
-	started := time.Now()
+	return ctx, cancel, from, true
+}
 
-	// A resumed job feeds its journal-recorded cells back as precomputed
-	// results: the engine re-runs only the missing ones, deterministically
-	// identical to what an uninterrupted run would have produced.
-	var opts []core.Option
-	if resumedCells > 0 {
-		pre := make(map[int]core.Result, resumedCells)
-		j.mu.Lock()
-		for _, c := range j.cells {
-			pre[c.Index] = c.Result
-		}
-		j.mu.Unlock()
-		opts = append(opts, core.Precomputed(pre))
-	}
-
-	cj, err := s.client.Submit(ctx, j.scenario.Sweep(), opts...)
-	if err == nil {
-		for cell := range cj.Results() {
-			j.mu.Lock()
-			if j.restored[cell.Index] {
-				// Already durable and already in cells from the journal.
-				j.mu.Unlock()
-				continue
-			}
-			j.cells = append(j.cells, cell)
-			j.cond.Broadcast()
-			j.mu.Unlock()
-			s.persistCell(j.id, cell)
-		}
-		err = cj.Wait(context.Background())
-	}
-
+// finishJob maps the run's terminal error onto the job state machine and
+// persists the verdict — except for a shutdown-interrupted job, which must
+// stay statusless in the journal so the next daemon resumes it exactly
+// where the cells left off.
+func (s *Server) finishJob(j *job, err error, started time.Time) {
 	j.mu.Lock()
 	j.cancel = nil
 	var status, detail string
@@ -499,9 +530,6 @@ func (s *Server) runJob(j *job) {
 	done := len(j.cells)
 	j.mu.Unlock()
 
-	// Persist the terminal status — except for a shutdown-interrupted job,
-	// which must stay statusless in the journal so the next daemon resumes
-	// it exactly where the cells left off.
 	interrupted := status == statusCanceled && !userCanceled && s.ctx.Err() != nil
 	if !interrupted {
 		s.persistStatus(j.id, status, detail)
@@ -509,6 +537,69 @@ func (s *Server) runJob(j *job) {
 	s.log.Info("job finished", "job", j.id, "status", status,
 		"done", done, "total", j.total, "duration", time.Since(started).Round(time.Millisecond),
 		"interrupted", interrupted, "err", detail)
+}
+
+func (s *Server) runJob(j *job) {
+	defer s.containPanic(j)
+	ctx, cancel, from, ok := s.startJob(j)
+	if !ok {
+		return
+	}
+	defer cancel()
+	j.mu.Lock()
+	resumedCells := len(j.restored)
+	j.mu.Unlock()
+	s.log.Info("job running", "job", j.id, "from", from,
+		"total", j.total, "resumed_cells", resumedCells, "timeout", j.timeout)
+	started := time.Now()
+
+	// A resumed job feeds its journal-recorded cells back as precomputed
+	// results: the engine re-runs only the missing ones, deterministically
+	// identical to what an uninterrupted run would have produced. A shard
+	// sub-job (a coordinator-dispatched slice of a campaign) runs only its
+	// subset of the matrix.
+	var opts []core.Option
+	if j.subset != nil {
+		opts = append(opts, core.Subset(j.subset))
+	}
+	if resumedCells > 0 {
+		pre := make(map[int]core.Result, resumedCells)
+		j.mu.Lock()
+		for _, c := range j.cells {
+			pre[c.Index] = c.Result
+		}
+		j.mu.Unlock()
+		opts = append(opts, core.Precomputed(pre))
+	}
+
+	// server.shard.run is the fleet chaos point: arming it kills a worker's
+	// shard sub-job at pickup, the coarsest failure a coordinator must retry
+	// (core.cell.run covers the mid-shard cell-level one).
+	var cj *core.Job
+	var err error
+	if j.subset != nil {
+		err = faultinject.Fire("server.shard.run")
+	}
+	if err == nil {
+		cj, err = s.client.Submit(ctx, j.scenario.Sweep(), opts...)
+	}
+	if err == nil {
+		for cell := range cj.Results() {
+			j.mu.Lock()
+			if j.restored[cell.Index] {
+				// Already durable and already in cells from the journal.
+				j.mu.Unlock()
+				continue
+			}
+			j.cells = append(j.cells, cell)
+			j.cond.Broadcast()
+			j.mu.Unlock()
+			s.persistCell(j.id, cell)
+			s.cellsDone.Add(1)
+		}
+		err = cj.Wait(context.Background())
+	}
+	s.finishJob(j, err, started)
 }
 
 // isCancellation reports a context cancellation or deadline, wrapped or not.
@@ -630,6 +721,80 @@ type submitExtras struct {
 	// Timeout is an optional per-job wall-clock deadline ("90s", "15m").
 	// When it expires the job lands in "timed_out".
 	Timeout string `json:"timeout"`
+	// Cells restricts the job to a subset of the scenario's cell matrix —
+	// the shard-subset protocol a fleet coordinator uses to scatter one
+	// campaign across worker daemons. Omitted runs the full matrix.
+	Cells *cellRange `json:"cells"`
+}
+
+// cellRange selects matrix cells by linear index (row*len(configs)+col):
+// either a contiguous half-open range {"lo": L, "hi": H} or an explicit
+// {"list": [i, j, ...]}. Deterministic per-cell seeding makes a subset
+// job's results byte-identical to the same cells of a full run, so a
+// coordinator can merge shards from many workers into one single-node-
+// identical stream.
+type cellRange struct {
+	Lo   *int  `json:"lo"`
+	Hi   *int  `json:"hi"`
+	List []int `json:"list"`
+}
+
+// resolve expands the selector into validated cell indices for a
+// total-cell matrix.
+func (c *cellRange) resolve(total int) ([]int, error) {
+	switch {
+	case c.List != nil && (c.Lo != nil || c.Hi != nil):
+		return nil, fmt.Errorf(`cells: "list" and "lo"/"hi" are mutually exclusive`)
+	case c.List != nil:
+		if len(c.List) == 0 {
+			return nil, fmt.Errorf("cells: list selects no cells")
+		}
+		seen := make(map[int]bool, len(c.List))
+		for _, i := range c.List {
+			if i < 0 || i >= total {
+				return nil, fmt.Errorf("cells: index %d outside the %d-cell matrix", i, total)
+			}
+			if seen[i] {
+				return nil, fmt.Errorf("cells: index %d duplicated", i)
+			}
+			seen[i] = true
+		}
+		return c.List, nil
+	case c.Lo != nil && c.Hi != nil:
+		lo, hi := *c.Lo, *c.Hi
+		if lo < 0 || hi > total || lo >= hi {
+			return nil, fmt.Errorf("cells: range [%d,%d) invalid for the %d-cell matrix", lo, hi, total)
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		return idx, nil
+	default:
+		return nil, fmt.Errorf(`cells: want {"lo": L, "hi": H} or {"list": [i, ...]}`)
+	}
+}
+
+// parseExtras decodes the serving-layer submission fields riding the
+// scenario body. It is also the resume path's way to recover a journaled
+// job's shard subset, so it must accept every body handleSubmit accepted.
+func parseExtras(body []byte, total int) (timeout time.Duration, subset []int, err error) {
+	var extras submitExtras
+	if err := json.Unmarshal(body, &extras); err != nil {
+		return 0, nil, fmt.Errorf("submission fields: %w", err)
+	}
+	if extras.Timeout != "" {
+		timeout, err = time.ParseDuration(extras.Timeout)
+		if err != nil || timeout <= 0 {
+			return 0, nil, fmt.Errorf("timeout %q is not a positive duration", extras.Timeout)
+		}
+	}
+	if extras.Cells != nil {
+		if subset, err = extras.Cells.resolve(total); err != nil {
+			return 0, nil, err
+		}
+	}
+	return timeout, subset, nil
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -651,15 +816,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	var extras submitExtras
-	var timeout time.Duration
-	if json.Unmarshal(body, &extras) == nil && extras.Timeout != "" {
-		timeout, err = time.ParseDuration(extras.Timeout)
-		if err != nil || timeout <= 0 {
-			writeError(w, http.StatusBadRequest,
-				fmt.Sprintf("timeout %q is not a positive duration", extras.Timeout))
-			return
-		}
+	timeout, subset, err := parseExtras(body, len(sc.Configs)*len(sc.Workloads))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -668,7 +828,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nextID++
-	j := newJob(fmt.Sprintf("job-%06d", s.nextID), sc, timeout)
+	j := newJob(fmt.Sprintf("job-%06d", s.nextID), sc, timeout, subset, body)
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
