@@ -77,7 +77,10 @@ func main() {
 			last = k.Now()
 		})
 	}
-	b.Broadcast(&noc.Message{ID: 1, Src: 63, Dst: -1, Size: 16, Kind: noc.KindInvalidate})
+	m := b.Acquire()
+	m.ID, m.Src, m.Dst = 1, 63, -1
+	m.Size, m.Kind = 16, noc.KindInvalidate
+	b.Broadcast(m)
 	k.Run()
 	fmt.Printf("\noptical broadcast bus: %d clusters snooped the invalidate between %.1f and %.1f ns\n",
 		snooped, first.Ns(), last.Ns())

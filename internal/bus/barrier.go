@@ -64,6 +64,7 @@ func (br *Barrier) Arrive(cluster int, release func()) {
 	var try func()
 	try = func() {
 		if !br.b.Broadcast(m) {
+			//lint:allow schedulepath cold backpressure retry; the recursive closure exists regardless and fires at most once per bus stall
 			br.k.Schedule(2, try)
 		}
 	}

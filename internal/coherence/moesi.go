@@ -12,7 +12,10 @@
 // example.
 package coherence
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // State is a MOESI cache-line state.
 type State uint8
@@ -163,6 +166,7 @@ func (p *Protocol) Holders(line uint64) (owner int, sharers []int) {
 	for s := range e.sharers {
 		sharers = append(sharers, s)
 	}
+	sort.Ints(sharers)
 	return e.owner, sharers
 }
 
@@ -270,6 +274,7 @@ func (p *Protocol) Write(node int, line uint64) {
 			holders = append(holders, s)
 		}
 	}
+	sort.Ints(holders) // invalidations go out in node order, not map order
 
 	// Data source: owner forwards if present, else memory (unless the writer
 	// already holds valid data in S/O).
@@ -356,6 +361,7 @@ func (p *Protocol) CheckInvariants() error {
 		return v
 	}
 	for node, c := range p.caches {
+		//lint:allow determinism diagnostic-only: which violation reports first is immaterial, and sharers accumulate in the outer loop's node order
 		for l, s := range c {
 			v := get(l)
 			switch s {

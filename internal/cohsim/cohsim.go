@@ -175,6 +175,15 @@ func (e *busSendEvent) OnEvent(_ sim.Time, data uint64) {
 	s.msgSlots.Free(data)
 }
 
+// hopEvent runs an arrival continuation parked in atSlots after a fixed
+// latency: hub-local hops and memory-access delays ride it instead of the
+// allocating closure-compat Schedule path.
+type hopEvent System
+
+func (e *hopEvent) OnEvent(_ sim.Time, data uint64) {
+	(*System)(e).atSlots.Take(data)()
+}
+
 // serveEvent starts the directory side of the next queued transaction on a
 // just-released line.
 type serveEvent System
@@ -223,7 +232,7 @@ func (s *System) Access(node int, line uint64, write bool, done func()) {
 // parked in atSlots and referenced by the pooled message's payload handle.
 func (s *System) sendOrLocal(from, to int, kind noc.Kind, size int, at func()) {
 	if from == to {
-		s.K.Schedule(s.cfg.HubCycles, at)
+		s.K.ScheduleEvent(s.cfg.HubCycles, (*hopEvent)(s), s.atSlots.Put(at))
 		return
 	}
 	s.nextID++
@@ -239,9 +248,9 @@ func (s *System) sendOrLocal(from, to int, kind noc.Kind, size int, at func()) {
 // deliver dispatches a crossbar arrival: the payload handle resolves the
 // continuation (before Consume recycles the message).
 func (s *System) deliver(cluster int, m *noc.Message) {
-	at := s.atSlots.Take(m.Payload)
+	slot := m.Payload // read before Consume recycles the message
 	s.net.Consume(cluster, m)
-	s.K.Schedule(s.cfg.HubCycles, at)
+	s.K.ScheduleEvent(s.cfg.HubCycles, (*hopEvent)(s), slot)
 }
 
 // snoop handles a bus broadcast at one cluster. The payload word packs the
@@ -285,9 +294,9 @@ func (s *System) serve(o *op) {
 			})
 			return
 		}
-		s.K.Schedule(s.cfg.MemoryCycles, func() {
+		s.K.ScheduleEvent(s.cfg.MemoryCycles, (*hopEvent)(s), s.atSlots.Put(func() {
 			s.sendOrLocal(home, o.node, noc.KindResponse, noc.ResponseBytes, commit)
-		})
+		}))
 		return
 	}
 
@@ -316,9 +325,9 @@ func (s *System) serve(o *op) {
 			s.sendOrLocal(owner, o.node, noc.KindResponse, noc.ResponseBytes, dataReady)
 		})
 	case s.proto.StateOf(o.node, o.line) == coherence.Invalid:
-		s.K.Schedule(s.cfg.MemoryCycles, func() {
+		s.K.ScheduleEvent(s.cfg.MemoryCycles, (*hopEvent)(s), s.atSlots.Put(func() {
 			s.sendOrLocal(home, o.node, noc.KindResponse, noc.ResponseBytes, dataReady)
-		})
+		}))
 	default:
 		dataReady() // upgrading a Shared/Owned copy: data already on hand
 	}

@@ -173,6 +173,7 @@ func runCellContained(ctx context.Context, cl Cell) (res Result, err error) {
 			err = &PanicError{Value: v, Stack: debug.Stack()}
 		}
 	}()
+	//lint:allow faultpoint runCellContained and Sweep.runCellSafe are alternative runners — a process drives cells through exactly one, so hit ordinals stay well-defined
 	if err := faultinject.Fire("core.cell.run"); err != nil {
 		return Result{}, err
 	}

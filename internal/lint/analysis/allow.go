@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the directive that suppresses one analyzer's diagnostics on
+// the directive's own line and the line directly below it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// Comment directives (//-comments whose text starts with a word, a colon and
+// no space) survive in the parsed AST like any other comment; the reason is
+// part of the contract — an allow without one is reported instead of obeyed.
+const allowPrefix = "//lint:allow"
+
+// allowIndex maps file name → line number → set of analyzer names whose
+// diagnostics are suppressed on that line.
+type allowIndex map[string]map[int]map[string]bool
+
+func (idx allowIndex) add(file string, line int, analyzer string) {
+	lines := idx[file]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		idx[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = make(map[string]bool)
+		lines[line] = set
+	}
+	set[analyzer] = true
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at posn is
+// covered by an allow directive.
+func (idx allowIndex) suppressed(analyzer string, posn token.Position) bool {
+	return idx[posn.Filename][posn.Line][analyzer]
+}
+
+// indexAllows scans every comment in files for allow directives. Well-formed
+// directives land in the returned index keyed on both the directive's line
+// (trailing-comment placement) and the following line (directive-above
+// placement). Malformed directives — no analyzer, no reason, or an analyzer
+// name outside knownNames — become hygiene diagnostics attributed to the
+// pseudo-analyzer "lint", so a typo cannot silently disable nothing.
+func indexAllows(fset *token.FileSet, files []*ast.File, knownNames map[string]bool) (allowIndex, []SuiteDiagnostic) {
+	idx := make(allowIndex)
+	var hygiene []SuiteDiagnostic
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					hygiene = append(hygiene, SuiteDiagnostic{
+						Analyzer: "lint",
+						Pos:      c.Pos(),
+						Message:  "lint:allow directive names no analyzer (want //lint:allow <analyzer> <reason>)",
+					})
+				case !knownNames[fields[0]]:
+					hygiene = append(hygiene, SuiteDiagnostic{
+						Analyzer: "lint",
+						Pos:      c.Pos(),
+						Message:  "lint:allow names unknown analyzer " + quote(fields[0]),
+					})
+				case len(fields) == 1:
+					hygiene = append(hygiene, SuiteDiagnostic{
+						Analyzer: "lint",
+						Pos:      c.Pos(),
+						Message:  "lint:allow " + fields[0] + " is missing its reason — say why the violation is intentional",
+					})
+				default:
+					posn := fset.Position(c.Pos())
+					idx.add(posn.Filename, posn.Line, fields[0])
+					idx.add(posn.Filename, posn.Line+1, fields[0])
+				}
+			}
+		}
+	}
+	return idx, hygiene
+}
+
+// quote quotes a token for a message without pulling in fmt here.
+func quote(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const allowSrc = `package p
+
+//lint:allow determinism reasoned exception
+var A = 1
+
+//lint:allow
+var B = 2
+
+//lint:allow nosuch some reason
+var C = 3
+
+//lint:allow determinism
+var D = 4
+`
+
+func parseAllowSrc(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestIndexAllowsSuppression(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	idx, _ := indexAllows(fset, files, map[string]bool{"determinism": true})
+
+	// The well-formed directive on line 3 covers lines 3 and 4.
+	for _, line := range []int{3, 4} {
+		if !idx.suppressed("determinism", token.Position{Filename: "p.go", Line: line}) {
+			t.Errorf("line %d: directive does not suppress determinism", line)
+		}
+	}
+	if idx.suppressed("determinism", token.Position{Filename: "p.go", Line: 5}) {
+		t.Error("line 5: suppression leaked past the directive's line+1 window")
+	}
+	if idx.suppressed("poolflow", token.Position{Filename: "p.go", Line: 4}) {
+		t.Error("directive for determinism suppressed a different analyzer")
+	}
+	// Malformed directives must not suppress anything.
+	if idx.suppressed("determinism", token.Position{Filename: "p.go", Line: 13}) {
+		t.Error("reason-less directive on line 12 suppressed its line+1")
+	}
+}
+
+func TestIndexAllowsHygiene(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	_, hygiene := indexAllows(fset, files, map[string]bool{"determinism": true})
+
+	wantFragments := []string{
+		"names no analyzer",
+		`unknown analyzer "nosuch"`,
+		"missing its reason",
+	}
+	if len(hygiene) != len(wantFragments) {
+		t.Fatalf("got %d hygiene diagnostics, want %d: %+v", len(hygiene), len(wantFragments), hygiene)
+	}
+	for i, frag := range wantFragments {
+		if hygiene[i].Analyzer != "lint" {
+			t.Errorf("hygiene[%d].Analyzer = %q, want \"lint\"", i, hygiene[i].Analyzer)
+		}
+		if !strings.Contains(hygiene[i].Message, frag) {
+			t.Errorf("hygiene[%d] = %q, want it to mention %q", i, hygiene[i].Message, frag)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// vetxFacts is the payload corona-vet writes to the per-package vetx file go
+// vet threads between compilation units (Config.VetxOutput / PackageVetx).
+// Each package's file re-exports the union of its own facts and those of its
+// direct dependencies, so transitive facts reach every consumer even though
+// go vet only hands a unit its direct dependencies' files.
+type vetxFacts struct {
+	Schema     int      `json:"schema"`
+	Deprecated []string `json:"deprecated,omitempty"`
+}
+
+const vetxSchema = 1
+
+// EncodeFacts serializes the deprecation-fact set for a vetx file.
+func EncodeFacts(deprecated map[string]bool) ([]byte, error) {
+	f := vetxFacts{Schema: vetxSchema}
+	for k := range deprecated {
+		f.Deprecated = append(f.Deprecated, k)
+	}
+	// Deterministic output keeps go vet's content-addressed cache stable.
+	sort.Strings(f.Deprecated)
+	return json.Marshal(f)
+}
+
+// DecodeFacts merges a vetx file's fact set into dst. Unknown schemas are an
+// error: silently ignoring them would re-open the exact gap (stale tooling
+// passing vet) the suite exists to close.
+func DecodeFacts(data []byte, dst map[string]bool) error {
+	if len(data) == 0 {
+		return nil // dependency carried no facts
+	}
+	var f vetxFacts
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("corrupt vetx facts: %w", err)
+	}
+	if f.Schema != vetxSchema {
+		return fmt.Errorf("vetx facts schema %d, this corona-vet speaks %d", f.Schema, vetxSchema)
+	}
+	for _, k := range f.Deprecated {
+		dst[k] = true
+	}
+	return nil
+}
+
+// CollectDeprecated scans a package's syntax for declarations whose doc
+// comment contains a "Deprecated:" paragraph (the convention pkg.go.dev and
+// gopls honor) and records their keys — "pkgpath.Name" or
+// "pkgpath.Type.Method" — into dst.
+func CollectDeprecated(pkgPath string, files []*ast.File, dst map[string]bool) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !hasDeprecatedParagraph(d.Doc) {
+					continue
+				}
+				key := pkgPath + "." + d.Name.Name
+				if d.Recv != nil && len(d.Recv.List) > 0 {
+					if name := recvASTTypeName(d.Recv.List[0].Type); name != "" {
+						key = pkgPath + "." + name + "." + d.Name.Name
+					}
+				}
+				dst[key] = true
+			case *ast.GenDecl:
+				declDoc := d.Doc
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						if hasDeprecatedParagraph(s.Doc) || (len(d.Specs) == 1 && hasDeprecatedParagraph(declDoc)) {
+							for _, n := range s.Names {
+								dst[pkgPath+"."+n.Name] = true
+							}
+						}
+					case *ast.TypeSpec:
+						if hasDeprecatedParagraph(s.Doc) || (len(d.Specs) == 1 && hasDeprecatedParagraph(declDoc)) {
+							dst[pkgPath+"."+s.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasDeprecatedParagraph reports whether a doc comment contains a paragraph
+// starting with "Deprecated:".
+func hasDeprecatedParagraph(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// recvASTTypeName extracts the receiver base type name from its AST.
+func recvASTTypeName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr: // generic receiver [T]
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestFactsRoundTrip(t *testing.T) {
+	in := map[string]bool{"a.F": true, "b.T.M": true}
+	data, err := EncodeFacts(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool)
+	if err := DecodeFacts(data, out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost facts: %v -> %v", in, out)
+	}
+	for k := range in {
+		if !out[k] {
+			t.Errorf("fact %q lost in round trip", k)
+		}
+	}
+}
+
+func TestEncodeFactsDeterministic(t *testing.T) {
+	// Map iteration order must not leak into the bytes — go vet
+	// content-addresses the vetx file into its build cache.
+	a, _ := EncodeFacts(map[string]bool{"x.A": true, "x.B": true, "x.C": true})
+	b, _ := EncodeFacts(map[string]bool{"x.C": true, "x.B": true, "x.A": true})
+	if !bytes.Equal(a, b) {
+		t.Errorf("same fact set encoded differently: %s vs %s", a, b)
+	}
+}
+
+func TestDecodeFactsEmptyAndSchema(t *testing.T) {
+	if err := DecodeFacts(nil, map[string]bool{}); err != nil {
+		t.Errorf("empty vetx data should decode cleanly, got %v", err)
+	}
+	stale, _ := json.Marshal(vetxFacts{Schema: vetxSchema + 1, Deprecated: []string{"x.A"}})
+	if err := DecodeFacts(stale, map[string]bool{}); err == nil {
+		t.Error("unknown schema must be an error, not silently ignored")
+	}
+}
+
+const deprecatedSrc = `package p
+
+// Old is legacy.
+//
+// Deprecated: use New instead.
+func Old() {}
+
+// New is fine.
+func New() {}
+
+// Legacy does it the old way.
+//
+// Deprecated: use Modern.
+func (*T) Legacy() {}
+
+// T is a type.
+type T struct{}
+
+// DT is old.
+//
+// Deprecated: use T.
+type DT struct{}
+
+// Deprecated: gone.
+var V = 1
+
+// NotDeprecated mentions the word Deprecated: mid-paragraph only as prose
+// and must not count.
+func NotDeprecated() {}
+`
+
+func TestCollectDeprecated(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", deprecatedSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	CollectDeprecated("m/p", []*ast.File{f}, got)
+
+	for _, want := range []string{"m/p.Old", "m/p.T.Legacy", "m/p.DT", "m/p.V"} {
+		if !got[want] {
+			t.Errorf("missing deprecated key %q (got %v)", want, got)
+		}
+	}
+	for _, absent := range []string{"m/p.New", "m/p.T", "m/p.NotDeprecated"} {
+		if got[absent] {
+			t.Errorf("key %q wrongly marked deprecated", absent)
+		}
+	}
+}
+
+func TestNormalizePkgPath(t *testing.T) {
+	cases := map[string]string{
+		"corona/internal/core":                             "corona/internal/core",
+		"corona/internal/core [corona/internal/core.test]": "corona/internal/core",
+		"corona/internal/core_test":                        "corona/internal/core",
+	}
+	for in, want := range cases {
+		if got := NormalizePkgPath(in); got != want {
+			t.Errorf("NormalizePkgPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

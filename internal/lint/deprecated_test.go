@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"corona/internal/lint"
+	"corona/internal/lint/linttest"
+)
+
+func TestDeprecatedCaller(t *testing.T) {
+	linttest.Run(t, lint.DeprecatedCaller,
+		"dep/internal/caller", // cross-package uses, shim and allow exemptions
+		"dep/internal/old",    // negative: declaring package and its tests
+	)
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"corona/internal/lint"
+	"corona/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, lint.Determinism,
+		"det/internal/core",   // positive, allow, and map-range cases
+		"det/internal/server", // negative: operational scope is exempt
+	)
+}

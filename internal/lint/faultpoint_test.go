@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"corona/internal/lint"
+	"corona/internal/lint/linttest"
+)
+
+func TestFaultPoint(t *testing.T) {
+	linttest.Run(t, lint.FaultPoint,
+		"fp/internal/alpha",       // shapes, ownership, duplicates, docs cross-check
+		"fp/internal/faultinject", // negative: the registry itself fires nothing
+		"fpnodoc/internal/gamma",  // missing docs/OPERATIONS.md is reported
+	)
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"corona/internal/lint/analysis"
+)
+
+// LogDiscipline keeps the daemon layers on structured logging. PR 7 moved
+// internal/server and internal/store from fmt.Fprintf(os.Stderr, …) to
+// log/slog — operators parse the daemon's output (the -log json mode feeds
+// collectors), and log.Fatal-style exits bypass graceful shutdown and the
+// journal's crash-safety guarantees. This analyzer replaces the old CI grep
+// with a typed check: in those packages, no direct stderr/stdout printing,
+// no std "log" package, no bare print/println builtins. slog is the only
+// sanctioned sink; the cmd/ layer (CLI tools whose stderr IS the UI) stays
+// free.
+var LogDiscipline = &analysis.Analyzer{
+	Name: "logdiscipline",
+	Doc: "forbid fmt stderr/stdout printing, the std log package, and bare " +
+		"print builtins in internal/server and internal/store (slog only)",
+	Run: runLogDiscipline,
+}
+
+func runLogDiscipline(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !hasInternalSegment(path, "server") && !hasInternalSegment(path, "store") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			checkLogCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkLogCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// print/println builtins write raw bytes to stderr behind the runtime's
+	// back.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "print" || id.Name == "println") {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			pass.Reportf(call.Pos(),
+				"builtin %s writes raw bytes to stderr: use the injected *slog.Logger", id.Name)
+		}
+		return
+	}
+
+	fn := calleeOf(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "log":
+		pass.Reportf(call.Pos(),
+			"log.%s bypasses structured logging (and Fatal skips graceful shutdown): use the injected *slog.Logger", fn.Name())
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			pass.Reportf(call.Pos(),
+				"fmt.%s prints to stdout from a daemon package: use the injected *slog.Logger", fn.Name())
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 && isStdStream(pass, call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"fmt.%s to a standard stream from a daemon package: use the injected *slog.Logger", fn.Name())
+			}
+		}
+	}
+}
+
+// isStdStream reports whether expr denotes os.Stderr or os.Stdout.
+func isStdStream(pass *analysis.Pass, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stderr" || obj.Name() == "Stdout"
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"corona/internal/lint"
+	"corona/internal/lint/linttest"
+)
+
+func TestLogDiscipline(t *testing.T) {
+	linttest.Run(t, lint.LogDiscipline,
+		"ld/internal/server", // positive, allow, and test-file cases
+		"ld/internal/api",    // negative: outside the daemon packages
+	)
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"corona/internal/lint"
+	"corona/internal/lint/linttest"
+)
+
+func TestPoolFlow(t *testing.T) {
+	linttest.Run(t, lint.PoolFlow,
+		"pf/internal/router", // literals, leaks, discards, consuming flows
+		"pf/internal/noc",    // negative: the pool's own package is exempt
+		"pf/internal/mesh",   // packet literals, including in-package
+	)
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+
+	"corona/internal/lint/analysis"
+)
+
+// SchedulePath forbids the closure-compatibility scheduling path —
+// (*sim.Kernel).Schedule(delay, func()) and At(t, func()) — in internal
+// production code. PR 2's zero-allocation kernel exists because every
+// closure scheduled on a hot path escapes to the heap; the typed
+// ScheduleEvent/AtEvent(handler, data) path is the reason the sweep runs at
+// 48.8M events/s. Tests keep the ergonomic closure form; production code in
+// internal/ must use typed events or carry an explicit allow.
+var SchedulePath = &analysis.Analyzer{
+	Name: "schedulepath",
+	Doc: "forbid the closure-compat (*sim.Kernel).Schedule/At path in internal " +
+		"packages; the typed ScheduleEvent/AtEvent path is allocation-free",
+	Run: runSchedulePath,
+}
+
+func runSchedulePath(pass *analysis.Pass) error {
+	path := normalizePkgPath(pass.Pkg.Path())
+	// The kernel's own package defines, documents, and stress-tests the
+	// compat path; everywhere else under internal/ it is fenced.
+	if !hasAnyInternalSegment(path) || hasInternalSegment(path, "sim") {
+		return nil
+	}
+	isSimPkg := func(p string) bool { return hasInternalSegment(p, "sim") }
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.TypesInfo, call)
+			if fn == nil || (fn.Name() != "Schedule" && fn.Name() != "At") {
+				return true
+			}
+			if !methodOn(fn, "Kernel", isSimPkg) {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			typed := "ScheduleEvent"
+			if fn.Name() == "At" {
+				typed = "AtEvent"
+			}
+			pass.Reportf(call.Pos(),
+				"closure-compat Kernel.%s allocates per event: use the typed %s(handler, data) path (docs/PERFORMANCE.md)",
+				fn.Name(), typed)
+			return true
+		})
+	}
+	return nil
+}
+
+// hasAnyInternalSegment reports whether the package path contains an
+// "internal" path segment at all.
+func hasAnyInternalSegment(pkgPath string) bool {
+	for _, seg := range splitPath(pkgPath) {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}

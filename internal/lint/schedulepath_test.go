@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"corona/internal/lint"
+	"corona/internal/lint/linttest"
+)
+
+func TestSchedulePath(t *testing.T) {
+	linttest.Run(t, lint.SchedulePath,
+		"sp/internal/engine", // positive, allow, and test-file cases
+		"sp/internal/sim",    // negative: the kernel's own package is exempt
+		"sp/app",             // negative: outside internal/
+	)
+}

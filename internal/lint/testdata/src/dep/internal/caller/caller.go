@@ -1,0 +1,37 @@
+// Package caller exercises the deprecated analyzer: in-repo use of symbols
+// carrying a Deprecated: doc paragraph.
+package caller
+
+import "dep/internal/old"
+
+func UsesOld() int {
+	return old.Old() // want `dep/internal/old\.Old is deprecated`
+}
+
+func UsesNew() int {
+	return old.New()
+}
+
+func UsesLegacyMethod(t old.T) int {
+	return t.Legacy() // want `dep/internal/old\.T\.Legacy is deprecated`
+}
+
+func UsesModernMethod(t old.T) int {
+	return t.Modern()
+}
+
+func UsesDeprecatedType() any {
+	return old.DT{} // want `dep/internal/old\.DT is deprecated`
+}
+
+// Shim layers one compat surface on another.
+//
+// Deprecated: use UsesNew instead.
+func Shim() int {
+	return old.Old() // deprecated shims may call each other
+}
+
+func Allowed() int {
+	//lint:allow deprecated fixture demonstrates an annotated exception
+	return old.Old()
+}

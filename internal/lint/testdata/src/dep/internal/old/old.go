@@ -1,0 +1,27 @@
+// Package old declares deprecated compatibility surfaces for the deprecated
+// analyzer fixtures.
+package old
+
+// Old is the legacy entry point.
+//
+// Deprecated: use New instead.
+func Old() int { return 1 }
+
+// New is the supported entry point.
+func New() int { return 2 }
+
+// T is a supported type with one deprecated method.
+type T struct{}
+
+// Legacy does it the old way.
+//
+// Deprecated: use (T).Modern instead.
+func (T) Legacy() int { return 1 }
+
+// Modern is the supported method.
+func (T) Modern() int { return 2 }
+
+// DT is the legacy handle type.
+//
+// Deprecated: use T instead.
+type DT struct{}

@@ -1,0 +1,5 @@
+package old
+
+func pinCompatBehavior() int {
+	return Old() + T{}.Legacy() // the declaring package's tests pin compat behavior
+}

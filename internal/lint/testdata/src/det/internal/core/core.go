@@ -1,0 +1,75 @@
+// Package core exercises the determinism analyzer: wall-clock time, global
+// rand, crypto randomness, and map-ordered output inside a sim-scope package.
+package core
+
+import (
+	crand "crypto/rand"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func WallClock() {
+	_ = time.Now()             // want `time\.Now is wall-clock time`
+	time.Sleep(1)              // want `time\.Sleep is wall-clock scheduling`
+	start := time.Time{}       // constructing a Time value is fine
+	_ = time.Since(start)      // want `time\.Since is wall-clock time`
+	_ = start.Sub(time.Time{}) // method on a value: not the runtime clock
+}
+
+func GlobalRand() {
+	_ = rand.Intn(6)   // want `math/rand\.Intn draws from the global rand source`
+	_ = rand.Float64() // want `math/rand\.Float64 draws from the global rand source`
+	var buf []byte
+	_, _ = crand.Read(buf) // want `crypto/rand is nondeterministic by design`
+}
+
+func SeededRand() int {
+	r := rand.New(rand.NewSource(42)) // explicit seed: the sanctioned shape
+	return r.Intn(6)
+}
+
+func Allowed() {
+	//lint:allow determinism fixture demonstrates an annotated exception
+	_ = time.Now()
+}
+
+func MapOrdered(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `map iteration order is randomized, and this loop appends`
+		out = append(out, k)
+	}
+	return out
+}
+
+func MapSorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func MapCount(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func MapPrint(m map[int]int) {
+	for k := range m { // want `map iteration order is randomized, and this loop writes output`
+		fmt.Println(k)
+	}
+}
+
+func SliceOrdered(xs []int) []int {
+	var out []int
+	for _, x := range xs { // slices iterate deterministically
+		out = append(out, x)
+	}
+	return out
+}

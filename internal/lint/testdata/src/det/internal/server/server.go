@@ -1,0 +1,9 @@
+// Package server shows the determinism analyzer's scoping: internal/server
+// is operational code, where wall-clock time is legitimate.
+package server
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start) // out of sim scope: no diagnostic
+}

@@ -1,0 +1,7 @@
+package alpha
+
+import "fp/internal/faultinject"
+
+func scratchFromTest() error {
+	return faultinject.Fire("scratch.point.name") // tests arm scratch points freely
+}

@@ -1,0 +1,7 @@
+// Package faultinject is a fixture registry for the faultpoint analyzer:
+// the same Fire/Hits surface as corona's internal/faultinject.
+package faultinject
+
+func Fire(name string) error { return nil }
+
+func Hits(name string) uint64 { return 0 }

@@ -1,0 +1,9 @@
+// Package gamma exercises the faultpoint analyzer when the fixture tree has
+// no docs/OPERATIONS.md to cross-check against.
+package gamma // want `cannot cross-check fault points against docs/OPERATIONS\.md`
+
+import "fp/internal/faultinject"
+
+func Run() error {
+	return faultinject.Fire("gamma.thing.act")
+}

@@ -1,0 +1,9 @@
+// Package api shows the logdiscipline analyzer's scoping: only
+// internal/server and internal/store are fenced.
+package api
+
+import "fmt"
+
+func Print() {
+	fmt.Println("not a daemon package") // out of scope: no diagnostic
+}

@@ -1,0 +1,35 @@
+// Package server exercises the logdiscipline analyzer: daemon packages log
+// through slog, never raw streams or the std log package.
+package server
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+)
+
+type buffer struct{}
+
+func (b *buffer) Write(p []byte) (int, error) { return len(p), nil }
+
+func Bad(logger *slog.Logger) {
+	fmt.Fprintf(os.Stderr, "boom\n")  // want `fmt\.Fprintf to a standard stream from a daemon package`
+	fmt.Fprintln(os.Stdout, "status") // want `fmt\.Fprintln to a standard stream from a daemon package`
+	fmt.Println("hello")              // want `fmt\.Println prints to stdout from a daemon package`
+	log.Printf("old style")           // want `log\.Printf bypasses structured logging`
+	log.Fatal("dying")                // want `log\.Fatal bypasses structured logging`
+	println("debug")                  // want `builtin println writes raw bytes to stderr`
+}
+
+func Good(logger *slog.Logger) {
+	logger.Info("structured", "key", 1)
+	var b buffer
+	fmt.Fprintf(&b, "not a std stream\n") // writers other than stderr/stdout are fine
+	_ = fmt.Sprintf("formatting itself is fine")
+}
+
+func Allowed() {
+	//lint:allow logdiscipline fixture demonstrates an annotated exception
+	fmt.Println("sanctioned escape hatch")
+}

@@ -1,0 +1,8 @@
+// Package log is a fixture stub shadowing the standard library for
+// corona-vet's hermetic analyzer tests.
+package log
+
+func Printf(format string, v ...any) {}
+func Println(v ...any)               {}
+func Fatal(v ...any)                 {}
+func Fatalf(format string, v ...any) {}

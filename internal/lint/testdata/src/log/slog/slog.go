@@ -1,0 +1,10 @@
+// Package slog is a fixture stub shadowing log/slog for corona-vet's
+// hermetic analyzer tests.
+package slog
+
+type Logger struct{}
+
+func Default() *Logger { return &Logger{} }
+
+func (l *Logger) Info(msg string, args ...any)  {}
+func (l *Logger) Error(msg string, args ...any) {}

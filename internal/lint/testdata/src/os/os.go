@@ -1,0 +1,10 @@
+// Package os is a fixture stub shadowing the standard library for
+// corona-vet's hermetic analyzer tests.
+package os
+
+type File struct{}
+
+var (
+	Stderr = &File{}
+	Stdout = &File{}
+)

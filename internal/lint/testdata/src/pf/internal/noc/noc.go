@@ -1,0 +1,27 @@
+// Package noc is a fixture pool for the poolflow analyzer: the same
+// Message/Acquire/Consume lifecycle as corona's internal/noc.
+package noc
+
+type Message struct {
+	ID   uint64
+	Size int
+}
+
+type Pool struct {
+	free []*Message
+}
+
+// Acquire hands out a recycled (or fresh) message. The composite literal
+// here is the pool's own feeder — package noc is exempt.
+func (p *Pool) Acquire() *Message {
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+func (p *Pool) Send(m *Message) bool { return true }
+
+func (p *Pool) Consume(m *Message) { p.free = append(p.free, m) }

@@ -1,0 +1,42 @@
+// Package router exercises the poolflow analyzer: literal construction and
+// Acquire results that never reach a consumer.
+package router
+
+import "pf/internal/noc"
+
+func Literal() *noc.Message {
+	return &noc.Message{ID: 1} // want `noc\.Message composite literal bypasses the message pool`
+}
+
+func AllowedLiteral() *noc.Message {
+	//lint:allow poolflow fixture demonstrates an annotated exception
+	return &noc.Message{ID: 1}
+}
+
+func Leaked(p *noc.Pool) {
+	m := p.Acquire() // want `acquired message is filled but never sent, stored, returned, or consumed`
+	m.ID = 7
+	m.Size = 16
+}
+
+func Discarded(p *noc.Pool) {
+	p.Acquire() // want `Acquire result is discarded`
+}
+
+func Sent(p *noc.Pool) {
+	m := p.Acquire()
+	m.ID = 7
+	p.Send(m)
+}
+
+func Returned(p *noc.Pool) *noc.Message {
+	m := p.Acquire()
+	m.ID = 7
+	return m
+}
+
+func Stored(p *noc.Pool, out []*noc.Message) []*noc.Message {
+	m := p.Acquire()
+	out = append(out, m)
+	return out
+}

@@ -1,0 +1,7 @@
+package router
+
+import "pf/internal/noc"
+
+func literalFromTest() *noc.Message {
+	return &noc.Message{ID: 1} // tests may build literals freely
+}

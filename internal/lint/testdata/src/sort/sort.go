@@ -1,0 +1,6 @@
+// Package sort is a fixture stub shadowing the standard library for
+// corona-vet's hermetic analyzer tests.
+package sort
+
+func Ints(a []int)       {}
+func Strings(a []string) {}

@@ -1,0 +1,9 @@
+// Package app shows the schedulepath analyzer's scoping: code outside
+// internal/ may use the closure-compat path.
+package app
+
+import "sp/internal/sim"
+
+func Drive(k *sim.Kernel) {
+	k.Schedule(1, func() {}) // not under internal/: no diagnostic
+}

@@ -1,0 +1,18 @@
+// Package engine exercises the schedulepath analyzer inside internal/
+// production code.
+package engine
+
+import "sp/internal/sim"
+
+type tick struct{}
+
+func (tick) OnEvent(now sim.Time, data uint64) {}
+
+func Drive(k *sim.Kernel) {
+	k.Schedule(1, func() {}) // want `closure-compat Kernel\.Schedule allocates per event`
+	k.At(10, func() {})      // want `closure-compat Kernel\.At allocates per event`
+	k.ScheduleEvent(1, tick{}, 0)
+	k.AtEvent(10, tick{}, 0)
+	//lint:allow schedulepath fixture demonstrates an annotated exception
+	k.Schedule(2, func() {})
+}

@@ -1,0 +1,7 @@
+package engine
+
+import "sp/internal/sim"
+
+func driveFromTest(k *sim.Kernel) {
+	k.Schedule(1, func() {}) // tests keep the ergonomic closure form
+}

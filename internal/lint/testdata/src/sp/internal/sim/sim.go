@@ -1,0 +1,16 @@
+// Package sim is a fixture kernel for the schedulepath analyzer: the same
+// Schedule/ScheduleEvent surface as corona's internal/sim.
+package sim
+
+type Time int64
+
+type Handler interface {
+	OnEvent(now Time, data uint64)
+}
+
+type Kernel struct{}
+
+func (k *Kernel) Schedule(delay Time, fn func())                   {}
+func (k *Kernel) At(t Time, fn func())                             {}
+func (k *Kernel) ScheduleEvent(delay Time, h Handler, data uint64) {}
+func (k *Kernel) AtEvent(t Time, h Handler, data uint64)           {}
