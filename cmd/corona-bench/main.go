@@ -1,10 +1,11 @@
-// Command corona-bench measures fleet scaling: it boots an in-process
-// corona-serve fleet — N worker daemons plus a coordinator, every node on
-// its own TCP listener, talking the real HTTP/NDJSON protocol — runs the
-// paper-shaped 6-configuration x 15-workload campaign through a 1-worker
-// fleet and through the N-worker fleet, verifies the two merged result
-// streams are identical cell for cell, and reports the wall-clock speedup
-// as JSON (BENCH_8.json in CI).
+// Command corona-bench measures fleet scaling and concurrent-campaign
+// throughput: it boots an in-process corona-serve fleet — N worker daemons
+// plus a coordinator, every node on its own TCP listener, talking the real
+// HTTP/NDJSON protocol — runs the paper-shaped 6-configuration x
+// 15-workload campaign through a 1-worker fleet and through the N-worker
+// fleet, verifies every merged result stream is identical cell for cell,
+// and reports wall-clock speedup, aggregate throughput, and campaign
+// latency percentiles as JSON (BENCH_10.json in CI).
 //
 // Usage:
 //
@@ -13,11 +14,16 @@
 //
 // Each worker simulates its shard with a W-goroutine pool (-node-workers,
 // default 1 so the scaling measured is the fleet's, not the pool's). -jobs
-// submits the campaign J times back to back through the fleet and reports
-// p50/p90/p99 campaign latencies alongside the totals. The in-process
-// fleet shares one machine, so wall-clock speedup is bounded by real cores:
-// the report carries num_cpu and gomaxprocs so a 1-CPU container's ~1x is
-// read as a substrate limit, not a sharding defect.
+// submits the campaign J times CONCURRENTLY through the coordinator — the
+// load-test mode: J client goroutines racing the admission queue, the
+// fleet's backpressure, and each other — and reports aggregate throughput
+// plus p50/p90/p99 campaign latencies alongside the totals. Every
+// campaign's merged stream must be byte-identical to every other's and to
+// the single-node reference, so the load test doubles as a determinism
+// stress. The in-process fleet shares one machine, so wall-clock speedup
+// is bounded by real cores: the report carries num_cpu and gomaxprocs so a
+// 1-CPU container's ~1x is read as a substrate limit, not a sharding
+// defect.
 package main
 
 import (
@@ -32,13 +38,17 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"corona/internal/core"
 	"corona/internal/server"
 )
 
-// report is the BENCH_8.json schema.
+// report is the BENCH_10.json schema. Schema 2 made -jobs concurrent, so
+// the percentile fields describe campaigns racing each other, and
+// jobs_per_sec is the aggregate campaign throughput the fleet sustained
+// under that concurrency.
 type report struct {
 	Schema      int    `json:"schema"`
 	Cells       int    `json:"cells"`
@@ -53,10 +63,11 @@ type report struct {
 	FleetSpeedup      float64 `json:"fleet_speedup"`
 	SingleCellsPerSec float64 `json:"single_cells_per_sec"`
 	FleetCellsPerSec  float64 `json:"fleet_cells_per_sec"`
+	FleetJobsPerSec   float64 `json:"jobs_per_sec"`
 
-	P50Seconds float64 `json:"p50_seconds,omitempty"`
-	P90Seconds float64 `json:"p90_seconds,omitempty"`
-	P99Seconds float64 `json:"p99_seconds,omitempty"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P90Seconds float64 `json:"p90_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 
 	Identical  bool   `json:"merged_identical"`
 	NumCPU     int    `json:"num_cpu"`
@@ -71,8 +82,8 @@ func run() int {
 	nodeWorkers := flag.Int("node-workers", 1, "per-worker simulation pool size")
 	requests := flag.Int("requests", 1500, "requests per cell")
 	seed := flag.Uint64("seed", 29, "campaign base seed")
-	jobs := flag.Int("jobs", 1, "campaigns submitted back to back per fleet size")
-	out := flag.String("out", "BENCH_8.json", "report file (- for stdout)")
+	jobs := flag.Int("jobs", 1, "campaigns submitted concurrently per fleet size")
+	out := flag.String("out", "BENCH_10.json", "report file (- for stdout)")
 	flag.Parse()
 	if *fleet < 1 || *jobs < 1 {
 		fmt.Fprintln(os.Stderr, "corona-bench: -fleet and -jobs must be >= 1")
@@ -98,7 +109,7 @@ func run() int {
 	}
 
 	r := report{
-		Schema:      1,
+		Schema:      2,
 		Cells:       len(single.cells),
 		Requests:    *requests,
 		Seed:        *seed,
@@ -117,12 +128,11 @@ func run() int {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
 	}
-	if *jobs > 1 {
-		sort.Slice(multi.perJob, func(i, j int) bool { return multi.perJob[i] < multi.perJob[j] })
-		r.P50Seconds = quantile(multi.perJob, 0.50).Seconds()
-		r.P90Seconds = quantile(multi.perJob, 0.90).Seconds()
-		r.P99Seconds = quantile(multi.perJob, 0.99).Seconds()
-	}
+	r.FleetJobsPerSec = float64(*jobs) / multi.wall.Seconds()
+	sort.Slice(multi.perJob, func(i, j int) bool { return multi.perJob[i] < multi.perJob[j] })
+	r.P50Seconds = quantile(multi.perJob, 0.50).Seconds()
+	r.P90Seconds = quantile(multi.perJob, 0.90).Seconds()
+	r.P99Seconds = quantile(multi.perJob, 0.99).Seconds()
 	if !r.Identical {
 		fmt.Fprintln(os.Stderr, "corona-bench: FLEET RESULTS DIVERGE FROM SINGLE-NODE — determinism bug")
 	}
@@ -140,8 +150,9 @@ func run() int {
 		w = f
 	}
 	w.Write(enc)
-	fmt.Fprintf(os.Stderr, "corona-bench: %d cells x %d jobs: 1 worker %.2fs, %d workers %.2fs (%.2fx, %d CPUs)\n",
-		r.Cells, r.Jobs, r.SingleWallSeconds, r.Fleet, r.FleetWallSeconds, r.FleetSpeedup, r.NumCPU)
+	fmt.Fprintf(os.Stderr, "corona-bench: %d cells x %d concurrent jobs: 1 worker %.2fs, %d workers %.2fs (%.2fx, %.2f jobs/s, p50 %.2fs p99 %.2fs, %d CPUs)\n",
+		r.Cells, r.Jobs, r.SingleWallSeconds, r.Fleet, r.FleetWallSeconds, r.FleetSpeedup,
+		r.FleetJobsPerSec, r.P50Seconds, r.P99Seconds, r.NumCPU)
 	if !r.Identical {
 		return 1
 	}
@@ -155,15 +166,17 @@ type node struct {
 	url string
 }
 
-func startNode(workers int, peers []*server.Client, log *slog.Logger) (*node, error) {
+func startNode(workers, queue, runners int, peers []*server.Client, log *slog.Logger) (*node, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	srv := server.New(server.Options{
-		Client: core.NewClient(core.WithWorkers(workers)),
-		Logger: log,
-		Peers:  peers,
+		Client:     core.NewClient(core.WithWorkers(workers)),
+		QueueDepth: queue,
+		Runners:    runners,
+		Logger:     log,
+		Peers:      peers,
 	})
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
@@ -176,28 +189,37 @@ func (n *node) stop() {
 }
 
 // fleetResult is one fleet size's measurement: total wall clock across the
-// jobs, per-job latencies, and the final job's cells in index order.
+// concurrent jobs, per-job latencies, and one job's cells in index order
+// (every job's stream was verified identical before the pick).
 type fleetResult struct {
 	wall   time.Duration
 	perJob []time.Duration
 	cells  []core.CellResult
 }
 
-// benchFleet boots n workers plus a coordinator, runs the campaign jobs
-// times through the coordinator, and tears the fleet down.
+// benchFleet boots n workers plus a coordinator, submits the campaign jobs
+// times concurrently through the coordinator — one client goroutine per
+// campaign, all racing the queue — verifies every campaign's merged stream
+// is identical, and tears the fleet down. Queues are sized to admit the
+// whole wave: the load mode measures latency under contention, not the
+// admission controller (the chaos suite covers shedding).
 func benchFleet(n, nodeWorkers, jobs int, scenario []byte) (fleetResult, error) {
 	var res fleetResult
 	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	queue := 2 * jobs
+	if queue < 16 {
+		queue = 16
+	}
 	var peers []*server.Client
 	for i := 0; i < n; i++ {
-		w, err := startNode(nodeWorkers, nil, log)
+		w, err := startNode(nodeWorkers, queue, 0, nil, log)
 		if err != nil {
 			return res, err
 		}
 		defer w.stop()
 		peers = append(peers, server.NewClient(w.url))
 	}
-	coord, err := startNode(0, peers, log)
+	coord, err := startNode(0, queue, jobs, peers, log)
 	if err != nil {
 		return res, err
 	}
@@ -205,28 +227,51 @@ func benchFleet(n, nodeWorkers, jobs int, scenario []byte) (fleetResult, error) 
 	c := server.NewClient(coord.url)
 
 	ctx := context.Background()
+	res.perJob = make([]time.Duration, jobs)
+	cellsByJob := make([][]core.CellResult, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
 	start := time.Now()
 	for job := 0; job < jobs; job++ {
-		jobStart := time.Now()
-		v, err := c.Submit(ctx, scenario)
+		wg.Add(1)
+		go func(job int) {
+			defer wg.Done()
+			jobStart := time.Now()
+			v, err := c.Submit(ctx, scenario)
+			if err != nil {
+				errs[job] = fmt.Errorf("job %d submit: %w", job, err)
+				return
+			}
+			var cells []core.CellResult
+			if err := c.Stream(ctx, v.ID, func(cell core.CellResult) error {
+				cells = append(cells, cell)
+				return nil
+			}); err != nil {
+				errs[job] = fmt.Errorf("job %d stream: %w", job, err)
+				return
+			}
+			if _, err := c.Wait(ctx, v.ID, 10*time.Millisecond); err != nil {
+				errs[job] = fmt.Errorf("job %d wait: %w", job, err)
+				return
+			}
+			res.perJob[job] = time.Since(jobStart)
+			sort.Slice(cells, func(i, j int) bool { return cells[i].Index < cells[j].Index })
+			cellsByJob[job] = cells
+		}(job)
+	}
+	wg.Wait()
+	res.wall = time.Since(start)
+	for _, err := range errs {
 		if err != nil {
 			return res, err
 		}
-		var cells []core.CellResult
-		if err := c.Stream(ctx, v.ID, func(cell core.CellResult) error {
-			cells = append(cells, cell)
-			return nil
-		}); err != nil {
-			return res, err
-		}
-		if _, err := c.Wait(ctx, v.ID, 10*time.Millisecond); err != nil {
-			return res, err
-		}
-		res.perJob = append(res.perJob, time.Since(jobStart))
-		sort.Slice(cells, func(i, j int) bool { return cells[i].Index < cells[j].Index })
-		res.cells = cells
 	}
-	res.wall = time.Since(start)
+	res.cells = cellsByJob[0]
+	for job, cells := range cellsByJob[1:] {
+		if !identical(res.cells, cells) {
+			return res, fmt.Errorf("concurrent campaigns diverged: job %d's merged stream differs from job 0's", job+1)
+		}
+	}
 	return res, nil
 }
 

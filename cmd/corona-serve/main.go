@@ -10,6 +10,9 @@
 //	             [-queue N] [-runners R] [-drain DUR]
 //	             [-store DIR] [-log text|json]
 //	             [-mode worker|coordinator] [-peers URL,URL,...]
+//	             [-heartbeat DUR] [-dead-after N]
+//	             [-breaker-threshold N] [-breaker-cooldown DUR]
+//	             [-speculation F] [-speculation-after DUR]
 //
 // API (see docs/API.md for a curl walkthrough):
 //
@@ -29,9 +32,16 @@
 // contiguous shards, dispatching them to the -peers worker daemons (same
 // binary, default mode), merging the shard streams into one index-ordered
 // result stream byte-identical to a single-node run, and retrying failed
-// shards on surviving workers. Every flag also reads a CORONA_* environment
-// variable (flag wins) so containerized fleets configure via env — see
-// docker-compose.yml.
+// shards on surviving workers. A coordinator also self-heals: it heartbeats
+// every worker's /healthz on the -heartbeat cadence (suspect after one
+// failure, dead after -dead-after, rejoining automatically), opens a
+// per-worker circuit breaker after -breaker-threshold consecutive dispatch
+// failures (half-open probe after -breaker-cooldown), speculatively
+// re-dispatches straggling shards (-speculation, -speculation-after), and
+// sheds campaigns with 503 + a drain-rate Retry-After when every live
+// worker's queue is full — see docs/OPERATIONS.md "Fleet self-healing".
+// Every flag also reads a CORONA_* environment variable (flag wins) so
+// containerized fleets configure via env — see docker-compose.yml.
 //
 // Jobs wait in a bounded queue (-queue; full queue = 503 with a Retry-After
 // hint) and run -runners at a time, each fanning its cells over a -workers
@@ -92,6 +102,26 @@ func envInt(key string, def int) int {
 	return def
 }
 
+func envDur(key string, def time.Duration) time.Duration {
+	if v := os.Getenv(key); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			return d
+		}
+		fmt.Fprintf(os.Stderr, "corona-serve: ignoring %s=%q: not a duration\n", key, v)
+	}
+	return def
+}
+
+func envFloat(key string, def float64) float64 {
+	if v := os.Getenv(key); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+		fmt.Fprintf(os.Stderr, "corona-serve: ignoring %s=%q: not a number\n", key, v)
+	}
+	return def
+}
+
 func run() int {
 	addr := flag.String("addr", envStr("CORONA_ADDR", "127.0.0.1:8451"), "listen address")
 	workers := flag.Int("workers", envInt("CORONA_WORKERS", 0), "per-job worker pool size; 0 = GOMAXPROCS, 1 = sequential")
@@ -103,6 +133,12 @@ func run() int {
 	logFormat := flag.String("log", envStr("CORONA_LOG", "text"), "log format: text or json")
 	mode := flag.String("mode", envStr("CORONA_MODE", "worker"), "worker executes jobs locally; coordinator shards them across -peers")
 	peers := flag.String("peers", envStr("CORONA_PEERS", ""), "comma-separated worker base URLs (coordinator mode), e.g. http://w1:8451,http://w2:8451")
+	heartbeat := flag.Duration("heartbeat", envDur("CORONA_HEARTBEAT", 0), "coordinator worker-heartbeat cadence (0 = 1s default)")
+	deadAfter := flag.Int("dead-after", envInt("CORONA_DEAD_AFTER", 0), "consecutive failed heartbeats before a worker is declared dead (0 = 3 default)")
+	brThreshold := flag.Int("breaker-threshold", envInt("CORONA_BREAKER_THRESHOLD", 0), "consecutive dispatch failures that open a worker's circuit breaker (0 = 3 default)")
+	brCooldown := flag.Duration("breaker-cooldown", envDur("CORONA_BREAKER_COOLDOWN", 0), "open-breaker cooldown before a half-open probe (0 = 5s default)")
+	specFactor := flag.Float64("speculation", envFloat("CORONA_SPECULATION", 0), "straggler threshold: speculate when a shard's cells/sec falls below this fraction of the fleet median (0 = 0.25 default)")
+	specAfter := flag.Duration("speculation-after", envDur("CORONA_SPECULATION_AFTER", 0), "minimum shard age before it can be judged a straggler (0 = 2s default)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -167,6 +203,14 @@ func run() int {
 		Store:      st,
 		Logger:     log,
 		Peers:      peerClients,
+		Tuning: server.FleetTuning{
+			HeartbeatInterval: *heartbeat,
+			DeadAfter:         *deadAfter,
+			BreakerThreshold:  *brThreshold,
+			BreakerCooldown:   *brCooldown,
+			SpeculationFactor: *specFactor,
+			SpeculationAfter:  *specAfter,
+		},
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

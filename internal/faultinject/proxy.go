@@ -1,0 +1,283 @@
+package faultinject
+
+// ChaosProxy is the network-layer complement to the in-process failure
+// points: a TCP relay a test (or an operator drill) puts between a fleet
+// coordinator and a worker daemon, so the link itself — not the daemons —
+// can partition, stall, drip, or reset, driven by the same deterministic
+// point/spec grammar as every other fault in the repo.
+//
+// Four points cover the failure taxonomy of a network hop:
+//
+//	faultinject.proxy.accept  fired per accepted connection; firing closes
+//	                          it immediately — a partition: the daemon is
+//	                          up, the link refuses service
+//	faultinject.proxy.delay   fired per relayed connection; firing sleeps
+//	                          ProxyOptions.Latency before any byte moves —
+//	                          added one-way latency
+//	faultinject.proxy.drip    fired per relayed connection; firing latches
+//	                          the connection into drip mode: every relayed
+//	                          write is split into DripBytes-sized slices
+//	                          spaced DripEvery apart — the slow straggler
+//	faultinject.proxy.chunk   fired per relayed chunk (either direction);
+//	                          firing closes both sides mid-stream — a
+//	                          connection reset with bytes already delivered
+//
+// "panic" mode is contained at the connection boundary and behaves like the
+// point's error mode — at the network layer every failure collapses to "the
+// link broke here"; panics must never cross into the proxied daemons' test
+// process.
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// ProxyOptions shapes the injected degradation; zero fields take defaults.
+type ProxyOptions struct {
+	// Latency is the pause injected when faultinject.proxy.delay fires.
+	// Default 50ms.
+	Latency time.Duration
+	// DripBytes is the write-slice size of a dripping connection. Default 1.
+	DripBytes int
+	// DripEvery spaces a dripping connection's write slices. Default 50ms.
+	DripEvery time.Duration
+	// ChunkBytes is the relay buffer size — the granularity at which
+	// faultinject.proxy.chunk can cut a stream. Default 4096.
+	ChunkBytes int
+}
+
+func (o ProxyOptions) withDefaults() ProxyOptions {
+	if o.Latency <= 0 {
+		o.Latency = 50 * time.Millisecond
+	}
+	if o.DripBytes <= 0 {
+		o.DripBytes = 1
+	}
+	if o.DripEvery <= 0 {
+		o.DripEvery = 50 * time.Millisecond
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 4096
+	}
+	return o
+}
+
+// ChaosProxy is a TCP relay whose misbehavior is armed through the package
+// fault registry. With nothing armed it is a transparent byte pipe.
+type ChaosProxy struct {
+	target string
+	opts   ProxyOptions
+	ln     net.Listener
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewProxy listens on an ephemeral loopback port and relays every accepted
+// connection to target (a host:port). Close releases everything.
+func NewProxy(target string, opts ProxyOptions) (*ChaosProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &ChaosProxy{
+		target: target,
+		opts:   opts.withDefaults(),
+		ln:     ln,
+		done:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listening address (host:port).
+func (p *ChaosProxy) Addr() string { return p.ln.Addr().String() }
+
+// URL is the proxy's address as an http base URL, ready for server.NewClient.
+func (p *ChaosProxy) URL() string { return "http://" + p.Addr() }
+
+// Close stops accepting, severs every relayed connection, and waits for the
+// relay goroutines to drain (drip sleeps included — they watch done).
+func (p *ChaosProxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.done)
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+// track registers live connections so Close can sever them; it refuses (and
+// closes) new ones once the proxy is closing.
+func (p *ChaosProxy) track(cs ...net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		for _, c := range cs {
+			c.Close()
+		}
+		return false
+	}
+	for _, c := range cs {
+		p.conns[c] = struct{}{}
+	}
+	return true
+}
+
+func (p *ChaosProxy) untrack(cs ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range cs {
+		delete(p.conns, c)
+	}
+}
+
+// firing runs one Fire call, translating an injected panic into the fired
+// verdict: at this layer panic mode and error mode both mean "break the
+// link", and a panic escaping into net/http's test goroutines would take the
+// whole suite down instead.
+func firing(fire func() error) (fired bool) {
+	defer func() {
+		if recover() != nil {
+			fired = true
+		}
+	}()
+	return fire() != nil
+}
+
+func (p *ChaosProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if firing(func() error { return Fire("faultinject.proxy.accept") }) {
+			down.Close() // partition: the link refuses this connection
+			continue
+		}
+		p.wg.Add(1)
+		go p.relay(down)
+	}
+}
+
+// relay connects one accepted connection to the target and pipes both
+// directions, applying the per-connection faults (delay, drip) and the
+// per-chunk one (reset).
+func (p *ChaosProxy) relay(down net.Conn) {
+	defer p.wg.Done()
+	up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		down.Close()
+		return
+	}
+	if !p.track(down, up) {
+		return
+	}
+	defer p.untrack(down, up)
+	// sever closes both sides exactly once — the shared failure action of
+	// the reset point, a dead peer write, and proxy Close.
+	var severOnce sync.Once
+	sever := func() {
+		severOnce.Do(func() {
+			down.Close()
+			up.Close()
+		})
+	}
+	defer sever()
+	if firing(func() error { return Fire("faultinject.proxy.delay") }) {
+		if !p.pause(p.opts.Latency) {
+			return
+		}
+	}
+	drip := firing(func() error { return Fire("faultinject.proxy.drip") })
+	var pipes sync.WaitGroup
+	pipes.Add(2)
+	go p.pipe(&pipes, up, down, drip, sever)
+	go p.pipe(&pipes, down, up, drip, sever)
+	pipes.Wait()
+}
+
+// pipe relays src to dst chunk by chunk until EOF or a fault cuts it. EOF
+// half-closes the destination so request/response flows that rely on
+// CloseWrite (an HTTP client finishing its body) still work through the
+// proxy.
+func (p *ChaosProxy) pipe(wg *sync.WaitGroup, dst, src net.Conn, drip bool, sever func()) {
+	defer wg.Done()
+	buf := make([]byte, p.opts.ChunkBytes)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if firing(func() error { return Fire("faultinject.proxy.chunk") }) {
+				sever() // mid-stream reset, bytes already delivered stay delivered
+				return
+			}
+			if !p.write(dst, buf[:n], drip) {
+				sever()
+				return
+			}
+		}
+		if err != nil {
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			} else {
+				sever()
+			}
+			return
+		}
+	}
+}
+
+// write forwards one chunk, slicing it DripBytes at a time with DripEvery
+// pauses when the connection is dripping. Reports false when the write (or
+// the proxy) died.
+func (p *ChaosProxy) write(dst net.Conn, b []byte, drip bool) bool {
+	if !drip {
+		_, err := dst.Write(b)
+		return err == nil
+	}
+	for len(b) > 0 {
+		n := p.opts.DripBytes
+		if n > len(b) {
+			n = len(b)
+		}
+		if _, err := dst.Write(b[:n]); err != nil {
+			return false
+		}
+		if b = b[n:]; len(b) > 0 && !p.pause(p.opts.DripEvery) {
+			return false
+		}
+	}
+	return true
+}
+
+// pause sleeps d unless the proxy closes first; reports whether the full
+// pause elapsed. Keeping every injected sleep select-based is what lets
+// Close return promptly even with slow drips in flight.
+func (p *ChaosProxy) pause(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.done:
+		return false
+	}
+}

@@ -1,0 +1,134 @@
+package server
+
+// Per-worker circuit breaking: the coordinator wraps every worker's dispatch
+// client in a breaker so a peer that fails repeatedly at the transport (or
+// answers 5xx) stops receiving shards immediately instead of burning one
+// shard-attempt per failure. The breaker is deliberately independent of the
+// heartbeat health registry (health.go): heartbeats catch a worker that is
+// *down*, the breaker catches one that is *broken* — accepting connections
+// but failing sub-jobs — which a liveness probe cannot see.
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// breaker states. Closed passes everything; open refuses dispatch until the
+// cooldown elapses; half-open admits a single probe whose outcome decides
+// between closing and re-opening.
+const (
+	brClosed = iota
+	brOpen
+	brHalfOpen
+)
+
+// breaker is a consecutive-failure circuit breaker. All methods take the
+// observation time explicitly so the state machine is unit-testable without
+// sleeping.
+type breaker struct {
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open -> half-open probe delay
+
+	mu    sync.Mutex
+	state int
+	fails int       // consecutive recorded failures while closed
+	since time.Time // opened at (open) / probe started (half-open)
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a dispatch may go to this worker now. An open
+// breaker whose cooldown has elapsed transitions to half-open and admits the
+// caller as the probe; while a probe is outstanding every other caller is
+// refused, but a probe that never reports back (its campaign was canceled
+// mid-flight) is replaced after another cooldown rather than wedging the
+// worker out of the fleet forever.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brClosed:
+		return true
+	case brOpen:
+		if now.Sub(b.since) < b.cooldown {
+			return false
+		}
+		b.state = brHalfOpen
+		b.since = now
+		return true
+	default: // brHalfOpen
+		if now.Sub(b.since) < b.cooldown {
+			return false
+		}
+		b.since = now
+		return true
+	}
+}
+
+// recordFailure counts one breaker-worthy dispatch failure: the threshold-th
+// consecutive failure opens the breaker, and a failed half-open probe
+// re-opens it immediately.
+func (b *breaker) recordFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == brHalfOpen {
+		b.state = brOpen
+		b.since = now
+		return
+	}
+	b.fails++
+	if b.state == brClosed && b.fails >= b.threshold {
+		b.state = brOpen
+		b.since = now
+	}
+}
+
+// recordSuccess closes the breaker from any state and resets the failure
+// streak — one delivered sub-job (or, on the health path, one live
+// heartbeat) is proof the worker serves again.
+func (b *breaker) recordSuccess() {
+	b.mu.Lock()
+	b.state = brClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// isOpen reports whether the breaker currently restricts dispatch (open or
+// half-open), without the transition side effects of allow.
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != brClosed
+}
+
+// current names the state for /healthz and /metrics.
+func (b *breaker) current() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brOpen:
+		return "open"
+	case brHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerWorthy reports whether a dispatch failure indicts the worker: a
+// transport-level error (refused, reset, a dropped response) or a 5xx
+// answer. A context cancellation is the campaign's own signal and a 4xx is
+// the coordinator's own mistake; neither says anything about worker health.
+func breakerWorthy(err error) bool {
+	if err == nil || !transientError(err) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500
+	}
+	return true
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestBreakerCycle walks the full closed → open → half-open → closed state
+// machine with explicit clock values, no sleeping: the transitions are pure
+// functions of (state, now).
+func TestBreakerCycle(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second)
+
+	if !b.allow(t0) || b.isOpen() || b.current() != "closed" {
+		t.Fatal("fresh breaker is not closed and allowing")
+	}
+	// Two failures stay under the threshold.
+	b.recordFailure(t0)
+	b.recordFailure(t0)
+	if !b.allow(t0) || b.isOpen() {
+		t.Fatal("breaker opened below its threshold")
+	}
+	// A success resets the streak entirely.
+	b.recordSuccess()
+	b.recordFailure(t0)
+	b.recordFailure(t0)
+	if b.isOpen() {
+		t.Fatal("failure streak survived a success")
+	}
+	// The third consecutive failure opens it.
+	b.recordFailure(t0)
+	if !b.isOpen() || b.current() != "open" {
+		t.Fatalf("breaker state after threshold = %s, want open", b.current())
+	}
+	if b.allow(t0.Add(999 * time.Millisecond)) {
+		t.Fatal("open breaker allowed dispatch inside the cooldown")
+	}
+	// Cooldown elapsed: the next caller is the half-open probe; its
+	// followers are refused.
+	t1 := t0.Add(time.Second)
+	if !b.allow(t1) {
+		t.Fatal("cooldown elapsed but the probe was refused")
+	}
+	if b.current() != "half_open" {
+		t.Fatalf("state after probe admission = %s, want half_open", b.current())
+	}
+	if b.allow(t1.Add(10 * time.Millisecond)) {
+		t.Fatal("second caller admitted while a probe is outstanding")
+	}
+	// A probe that never reports back is replaced after another cooldown —
+	// the wedge guard.
+	t2 := t1.Add(time.Second)
+	if !b.allow(t2) {
+		t.Fatal("stale probe was never replaced")
+	}
+	// The probe fails: re-open immediately.
+	b.recordFailure(t2)
+	if b.current() != "open" {
+		t.Fatalf("state after failed probe = %s, want open", b.current())
+	}
+	// Next probe succeeds: closed, streak cleared.
+	t3 := t2.Add(time.Second)
+	if !b.allow(t3) {
+		t.Fatal("second cooldown elapsed but the probe was refused")
+	}
+	b.recordSuccess()
+	if b.isOpen() || b.current() != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", b.current())
+	}
+	// And the failure counter restarted from zero.
+	b.recordFailure(t3)
+	b.recordFailure(t3)
+	if b.isOpen() {
+		t.Fatal("failure streak leaked across the close")
+	}
+}
+
+// TestBreakerWorthy pins the failure classifier: transport errors and 5xx
+// indict the worker; context cancellations and 4xx do not.
+func TestBreakerWorthy(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"transport", errors.New("connection refused"), true},
+		{"wrapped transport", fmt.Errorf("worker x: %w", errors.New("broken pipe")), true},
+		{"canceled", context.Canceled, false},
+		{"wrapped canceled", fmt.Errorf("submit: %w", context.Canceled), false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"http 500", &APIError{Status: 500, Message: "boom"}, true},
+		{"http 503", fmt.Errorf("submit: %w", &APIError{Status: 503, Message: "full"}), true},
+		{"http 400", &APIError{Status: 400, Message: "bad scenario"}, false},
+		{"http 404", &APIError{Status: 404, Message: "unknown job"}, false},
+	} {
+		if got := breakerWorthy(tc.err); got != tc.want {
+			t.Errorf("breakerWorthy(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestDrainEstimate pins the Retry-After estimator: no recent completions
+// fall back to the static hint, a measured rate scales with the backlog, and
+// the clamp bounds the hint.
+func TestDrainEstimate(t *testing.T) {
+	now := time.Unix(5000, 0)
+	at := func(secsAgo float64) time.Time {
+		return now.Add(-time.Duration(secsAgo * float64(time.Second)))
+	}
+	if got := drainEstimate(nil, 3, now); got != retryAfterFull {
+		t.Errorf("no samples: %d, want the static %d", got, retryAfterFull)
+	}
+	if got := drainEstimate([]time.Time{at(1)}, 3, now); got != retryAfterFull {
+		t.Errorf("one sample: %d, want the static %d", got, retryAfterFull)
+	}
+	// Five completions 2s apart: 2 s/job; depth 3 -> (3+1)*2 = 8s.
+	steady := []time.Time{at(8), at(6), at(4), at(2), at(0)}
+	if got := drainEstimate(steady, 3, now); got != 8 {
+		t.Errorf("steady rate, depth 3: %d, want 8", got)
+	}
+	// Empty queue still hints one job's worth.
+	if got := drainEstimate(steady, 0, now); got != 2 {
+		t.Errorf("steady rate, depth 0: %d, want 2", got)
+	}
+	// A glacial fleet is clamped.
+	slow := []time.Time{at(59), at(1)}
+	if got := drainEstimate(slow, 10, now); got != drainMaxHint {
+		t.Errorf("glacial rate: %d, want the %d clamp", got, drainMaxHint)
+	}
+	// Samples beyond the window no longer inform the rate.
+	stale := []time.Time{at(3000), at(2000), at(500)}
+	if got := drainEstimate(stale, 5, now); got != retryAfterFull {
+		t.Errorf("stale samples: %d, want the static %d", got, retryAfterFull)
+	}
+}

@@ -224,6 +224,18 @@ func (c *Client) Submit(ctx context.Context, scenario []byte) (JobView, error) {
 	return v, decode(resp, &v)
 }
 
+// Health fetches /healthz. It is the probe behind the fleet coordinator's
+// worker heartbeats: the returned queue depth and capacity feed admission
+// accounting, and on a coordinator the view carries per-worker health rows.
+func (c *Client) Health(ctx context.Context) (HealthView, error) {
+	var v HealthView
+	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return v, err
+	}
+	return v, decode(resp, &v)
+}
+
 // Status fetches the job's current view.
 func (c *Client) Status(ctx context.Context, id string) (JobView, error) {
 	var v JobView

@@ -133,7 +133,7 @@ func TestFleetRetriesWorkerFailureMidCampaign(t *testing.T) {
 	if got := sortedNDJSON(t, coord, v.ID); !slices.Equal(got, want) {
 		t.Error("merged NDJSON after a mid-campaign worker failure differs from a healthy run")
 	}
-	if _, retries := s.fleet.snapshot(); retries < 1 {
+	if _, retries, _ := s.fleet.snapshot(); retries < 1 {
 		t.Errorf("fleet retries = %d, want >= 1 (a sub-job did fail)", retries)
 	}
 }
@@ -158,7 +158,7 @@ func TestFleetRetriesDeadWorker(t *testing.T) {
 	if got := sortedNDJSON(t, coord, v.ID); !slices.Equal(got, want) {
 		t.Error("merged NDJSON with a dead worker differs from a healthy run")
 	}
-	if _, retries := s.fleet.snapshot(); retries < 1 {
+	if _, retries, _ := s.fleet.snapshot(); retries < 1 {
 		t.Errorf("fleet retries = %d, want >= 1 (half the fleet was dead)", retries)
 	}
 

@@ -1,0 +1,305 @@
+package server
+
+// Worker health registry: a coordinator heartbeats every worker's /healthz
+// on a fixed cadence and drives a per-worker state machine —
+//
+//	healthy --(1 failed heartbeat)--> suspect
+//	suspect --(DeadAfter consecutive failures)--> dead
+//	dead    --(1 live heartbeat)--> recovered --(next live heartbeat)--> healthy
+//
+// Dead workers are excluded from shard dispatch and speculation; recovered
+// ones rejoin automatically, no operator action required. The same heartbeat
+// carries the worker's queue depth and capacity, which feed the
+// coordinator's admission control (fleetAdmission): when every live worker's
+// queue is full the coordinator sheds new campaigns with 503 and a
+// Retry-After computed from the fleet's observed drain rate, instead of
+// accepting work it can only stall on.
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Worker health states as reported by /healthz and counted by /metrics.
+// "recovered" is a one-heartbeat display state: the worker is dispatchable
+// again, and the next live heartbeat promotes it to "healthy".
+const (
+	workerHealthy   = "healthy"
+	workerSuspect   = "suspect"
+	workerDead      = "dead"
+	workerRecovered = "recovered"
+)
+
+// FleetTuning parameterizes the coordinator's availability layer. The zero
+// value means "use the default" for every field, so Options.Tuning can be
+// left unset.
+type FleetTuning struct {
+	// HeartbeatInterval is the worker /healthz polling cadence. Default 1s.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds one heartbeat probe (a single attempt, no
+	// retries). Default: HeartbeatInterval.
+	HeartbeatTimeout time.Duration
+	// DeadAfter is how many consecutive failed heartbeats declare a worker
+	// dead (the first failure already marks it suspect). Default 3.
+	DeadAfter int
+	// BreakerThreshold is how many consecutive transport/5xx dispatch
+	// failures open a worker's circuit breaker. Default 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses dispatch before
+	// admitting a half-open probe. Default 5s.
+	BreakerCooldown time.Duration
+	// SpeculationFactor triggers straggler speculation: a shard whose
+	// observed cells/sec falls below factor x the fleet median gets its
+	// undelivered cells speculatively re-dispatched. Default 0.25.
+	SpeculationFactor float64
+	// SpeculationAfter is the minimum shard age before it can be judged a
+	// straggler — rates over tiny windows are noise. Default 2s.
+	SpeculationAfter time.Duration
+	// SpeculationInterval is the straggler-check cadence. Default 250ms.
+	SpeculationInterval time.Duration
+}
+
+// withDefaults fills every unset field.
+func (t FleetTuning) withDefaults() FleetTuning {
+	if t.HeartbeatInterval <= 0 {
+		t.HeartbeatInterval = time.Second
+	}
+	if t.HeartbeatTimeout <= 0 {
+		t.HeartbeatTimeout = t.HeartbeatInterval
+	}
+	if t.DeadAfter <= 0 {
+		t.DeadAfter = 3
+	}
+	if t.BreakerThreshold <= 0 {
+		t.BreakerThreshold = 3
+	}
+	if t.BreakerCooldown <= 0 {
+		t.BreakerCooldown = 5 * time.Second
+	}
+	if t.SpeculationFactor <= 0 {
+		t.SpeculationFactor = 0.25
+	}
+	if t.SpeculationAfter <= 0 {
+		t.SpeculationAfter = 2 * time.Second
+	}
+	if t.SpeculationInterval <= 0 {
+		t.SpeculationInterval = 250 * time.Millisecond
+	}
+	return t
+}
+
+// heartbeatTransport disables keep-alives so every heartbeat is a fresh
+// connection: a probe that reuses a pre-partition connection would report a
+// partitioned worker healthy.
+var heartbeatTransport http.RoundTripper = &http.Transport{DisableKeepAlives: true}
+
+// worker is one fleet peer plus everything the availability layer knows
+// about it: the retrying dispatch client, a single-attempt heartbeat client,
+// the health state machine, the last-reported queue figures, and the circuit
+// breaker.
+type worker struct {
+	client *Client // dispatch client (backoff retries)
+	hb     *Client // heartbeat client: one attempt, no keep-alive
+	name   string
+	br     *breaker
+
+	mu          sync.Mutex
+	state       string
+	consecFails int
+	queueDepth  int
+	queueCap    int
+	hasQueue    bool // at least one heartbeat has reported queue figures
+}
+
+func newWorker(c *Client, t FleetTuning) *worker {
+	return &worker{
+		client: c,
+		hb: NewClient(c.BaseURL(), WithRetries(0),
+			WithHTTPClient(&http.Client{Transport: heartbeatTransport})),
+		name:  c.BaseURL(),
+		br:    newBreaker(t.BreakerThreshold, t.BreakerCooldown),
+		state: workerHealthy, // optimistic until the first heartbeat says otherwise
+	}
+}
+
+// snapshot copies the health fields for /healthz and /metrics.
+func (w *worker) snapshot() WorkerHealth {
+	w.mu.Lock()
+	v := WorkerHealth{
+		Name:          w.name,
+		State:         w.state,
+		QueueDepth:    w.queueDepth,
+		QueueCapacity: w.queueCap,
+	}
+	w.mu.Unlock()
+	v.Breaker = w.br.current()
+	return v
+}
+
+// live reports whether the worker is dispatch-eligible as far as the health
+// registry is concerned (the breaker has its own veto in nextWorker).
+func (w *worker) live() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state != workerDead
+}
+
+// heartbeatLoop polls one worker until the server closes.
+func (s *Server) heartbeatLoop(w *worker) {
+	defer s.wg.Done()
+	t := time.NewTicker(s.tuning.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+		}
+		s.heartbeat(w)
+	}
+}
+
+// heartbeat runs one probe and advances the worker's state machine.
+func (s *Server) heartbeat(w *worker) {
+	ctx, cancel := context.WithTimeout(s.ctx, s.tuning.HeartbeatTimeout)
+	hv, err := w.hb.Health(ctx)
+	cancel()
+
+	w.mu.Lock()
+	prev := w.state
+	if err != nil {
+		w.consecFails++
+		if w.consecFails >= s.tuning.DeadAfter {
+			w.state = workerDead
+		} else {
+			w.state = workerSuspect
+		}
+	} else {
+		w.consecFails = 0
+		if prev == workerDead {
+			w.state = workerRecovered
+		} else {
+			w.state = workerHealthy
+		}
+		w.queueDepth, w.queueCap, w.hasQueue = hv.QueueDepth, hv.QueueCapacity, true
+	}
+	cur := w.state
+	w.mu.Unlock()
+
+	if err == nil && w.br.isOpen() {
+		// A live /healthz is as good as a half-open probe: the worker
+		// answers again, so dispatch may resume without waiting for the
+		// next cooldown window.
+		w.br.recordSuccess()
+		s.log.Info("worker breaker closed by live heartbeat", "worker", w.name)
+	}
+	if cur == prev {
+		return
+	}
+	switch cur {
+	case workerSuspect, workerDead:
+		s.log.Warn("worker health degraded", "worker", w.name,
+			"state", cur, "consecutive_failures", s.consecFailsOf(w), "err", err)
+	default:
+		s.log.Info("worker rejoined the fleet", "worker", w.name, "state", cur)
+	}
+}
+
+func (s *Server) consecFailsOf(w *worker) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.consecFails
+}
+
+// fleetAdmission is the coordinator's overload control: a campaign is
+// admitted only when at least one worker is live and the live workers'
+// queues have headroom. Refusals carry a Retry-After derived from the
+// fleet's observed drain rate, so shed clients back off by measurement
+// instead of by guess.
+func (s *Server) fleetAdmission() (retryAfter int, reason string, ok bool) {
+	live, depth, capacity, reported := 0, 0, 0, 0
+	for _, w := range s.workers {
+		w.mu.Lock()
+		if w.state != workerDead {
+			live++
+			if w.hasQueue {
+				reported++
+				depth += w.queueDepth
+				capacity += w.queueCap
+			}
+		}
+		w.mu.Unlock()
+	}
+	if live == 0 {
+		return s.drainRetryAfter(), "no live workers in the fleet; retry later", false
+	}
+	if reported > 0 && capacity > 0 && depth >= capacity {
+		return s.drainRetryAfter(),
+			"fleet saturated: every live worker's queue is full; retry later", false
+	}
+	return 0, "", true
+}
+
+// noteJobDone records a job-completion timestamp for the drain-rate
+// estimator; the ring keeps the most recent drainKeep completions.
+func (s *Server) noteJobDone(at time.Time) {
+	s.doneMu.Lock()
+	s.doneTimes = append(s.doneTimes, at)
+	if len(s.doneTimes) > drainKeep {
+		s.doneTimes = s.doneTimes[len(s.doneTimes)-drainKeep:]
+	}
+	s.doneMu.Unlock()
+}
+
+// drainRetryAfter computes the Retry-After hint (seconds) for a shed
+// submission from the observed completion rate and the current backlog.
+func (s *Server) drainRetryAfter() int {
+	s.doneMu.Lock()
+	done := make([]time.Time, len(s.doneTimes))
+	copy(done, s.doneTimes)
+	s.doneMu.Unlock()
+	return drainEstimate(done, len(s.queue), time.Now())
+}
+
+// Drain-estimator windowing: completions older than drainWindow no longer
+// inform the rate, the ring keeps at most drainKeep samples, and the hint is
+// clamped to drainMaxHint so one slow campaign cannot steer clients away for
+// hours.
+const (
+	drainWindow  = 60 * time.Second
+	drainKeep    = 32
+	drainMaxHint = 60
+)
+
+// drainEstimate turns recent job-completion times (ascending) and the
+// current queue depth into a Retry-After hint: the mean inter-completion gap
+// over the window, times the jobs ahead of the next submission, rounded up.
+// With fewer than two recent completions there is no rate to measure and the
+// static retryAfterFull fallback applies.
+func drainEstimate(done []time.Time, queueDepth int, now time.Time) int {
+	recent := done[:0:0]
+	for _, at := range done {
+		if now.Sub(at) <= drainWindow {
+			recent = append(recent, at)
+		}
+	}
+	if len(recent) < 2 {
+		return retryAfterFull
+	}
+	span := recent[len(recent)-1].Sub(recent[0]).Seconds()
+	if span <= 0 {
+		return retryAfterFull
+	}
+	perJob := span / float64(len(recent)-1)
+	est := int(math.Ceil(perJob * float64(queueDepth+1)))
+	if est < 1 {
+		est = 1
+	}
+	if est > drainMaxHint {
+		est = drainMaxHint
+	}
+	return est
+}

@@ -121,17 +121,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	gauge("corona_uptime_seconds", "Seconds since the daemon started.", now.Sub(s.started).Seconds())
 
-	if len(s.peers) > 0 {
-		gauge("corona_fleet_workers", "Worker daemons this coordinator dispatches shards to.", float64(len(s.peers)))
-		dispatched, retries := s.fleet.snapshot()
+	if len(s.workers) > 0 {
+		gauge("corona_fleet_workers", "Worker daemons this coordinator dispatches shards to.", float64(len(s.workers)))
+		dispatched, retries, specs := s.fleet.snapshot()
+		// Sorted worker order keeps scrapes byte-stable across restarts.
+		byName := make(map[string]WorkerHealth, len(s.workers))
+		names := make([]string, 0, len(s.workers))
+		for _, wk := range s.workers {
+			byName[wk.name] = wk.snapshot()
+			names = append(names, wk.name)
+		}
+		sort.Strings(names)
 		fmt.Fprintf(&b, "# HELP corona_fleet_shards_dispatched_total Shard sub-jobs dispatched, by worker.\n# TYPE corona_fleet_shards_dispatched_total counter\n")
-		workers := make([]string, 0, len(s.peerNames))
-		workers = append(workers, s.peerNames...)
-		sort.Strings(workers)
-		for _, wk := range workers {
+		for _, wk := range names {
 			fmt.Fprintf(&b, "corona_fleet_shards_dispatched_total{worker=%q} %d\n", wk, dispatched[wk])
 		}
+		fmt.Fprintf(&b, "# HELP corona_fleet_worker_healthy 1 while the health registry considers the worker dispatchable (healthy or recovered), 0 when suspect or dead.\n# TYPE corona_fleet_worker_healthy gauge\n")
+		for _, wk := range names {
+			up := 0
+			if st := byName[wk].State; st == workerHealthy || st == workerRecovered {
+				up = 1
+			}
+			fmt.Fprintf(&b, "corona_fleet_worker_healthy{worker=%q} %d\n", wk, up)
+		}
+		fmt.Fprintf(&b, "# HELP corona_fleet_breaker_open 1 while the worker's circuit breaker restricts dispatch (open or half-open), 0 when closed.\n# TYPE corona_fleet_breaker_open gauge\n")
+		for _, wk := range names {
+			open := 0
+			if byName[wk].Breaker != "closed" {
+				open = 1
+			}
+			fmt.Fprintf(&b, "corona_fleet_breaker_open{worker=%q} %d\n", wk, open)
+		}
 		counter("corona_fleet_shard_retries_total", "Shard dispatches beyond the first attempt (worker failures ridden out).", float64(retries))
+		counter("corona_fleet_speculations_total", "Straggler speculations: undelivered shard cells re-dispatched to a faster worker.", float64(specs))
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

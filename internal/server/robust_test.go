@@ -81,7 +81,7 @@ func TestHealthzReportsQueueAndStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var v healthView
+	var v HealthView
 	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestHealthzReportsQueueAndStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
-	var v2 healthView
+	var v2 HealthView
 	if err := json.NewDecoder(resp2.Body).Decode(&v2); err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestHealthzReportsQueueAndStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp4.Body.Close()
-	var v4 healthView
+	var v4 HealthView
 	if err := json.NewDecoder(resp4.Body).Decode(&v4); err != nil {
 		t.Fatal(err)
 	}

@@ -98,6 +98,10 @@ type Options struct {
 	// retried on surviving workers when a worker fails. Empty (the default)
 	// executes jobs locally through Client.
 	Peers []*Client
+	// Tuning parameterizes the coordinator's availability layer (heartbeat
+	// cadence, breaker thresholds, straggler speculation). Zero fields take
+	// the documented defaults; ignored without Peers.
+	Tuning FleetTuning
 }
 
 // Server owns the job registry, the bounded queue, and the runner pool.
@@ -111,11 +115,17 @@ type Server struct {
 	st      *store.Store
 	log     *slog.Logger
 
-	// Fleet coordination (empty on a plain daemon): the worker clients,
-	// their display names, and the dispatch/retry counters /metrics exports.
-	peers     []*Client
+	// Fleet coordination (empty on a plain daemon): the workers (each a
+	// dispatch client plus its health state and circuit breaker), their
+	// display names, the availability tuning, the dispatch/retry/speculation
+	// counters /metrics exports, and the job-completion ring feeding the
+	// drain-rate Retry-After estimator.
+	workers   []*worker
 	peerNames []string
+	tuning    FleetTuning
 	fleet     fleetMetrics
+	doneMu    sync.Mutex
+	doneTimes []time.Time
 
 	started   time.Time     // for /metrics uptime
 	cellsDone atomic.Uint64 // cells appended to any job, for /metrics
@@ -165,13 +175,14 @@ func New(opts Options) *Server {
 		depth:   opts.QueueDepth,
 		st:      opts.Store,
 		log:     opts.Logger,
-		peers:   opts.Peers,
+		tuning:  opts.Tuning.withDefaults(),
 		started: time.Now(),
 		ctx:     ctx,
 		cancel:  cancel,
 		jobs:    make(map[string]*job),
 	}
-	for _, p := range s.peers {
+	for _, p := range opts.Peers {
+		s.workers = append(s.workers, newWorker(p, s.tuning))
 		s.peerNames = append(s.peerNames, p.BaseURL())
 	}
 	resumed := s.restoreJobs()
@@ -184,6 +195,10 @@ func New(opts Options) *Server {
 	for i := 0; i < opts.Runners; i++ {
 		s.wg.Add(1)
 		go s.runner()
+	}
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go s.heartbeatLoop(w)
 	}
 	return s
 }
@@ -437,7 +452,7 @@ func (s *Server) persistStatus(id, status, errMsg string) {
 func (s *Server) runner() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		if len(s.peers) > 0 {
+		if len(s.workers) > 0 {
 			s.runFleetJob(j)
 		} else {
 			s.runJob(j)
@@ -533,6 +548,7 @@ func (s *Server) finishJob(j *job, err error, started time.Time) {
 	interrupted := status == statusCanceled && !userCanceled && s.ctx.Err() != nil
 	if !interrupted {
 		s.persistStatus(j.id, status, detail)
+		s.noteJobDone(time.Now())
 	}
 	s.log.Info("job finished", "job", j.id, "status", status,
 		"done", done, "total", j.total, "duration", time.Since(started).Round(time.Millisecond),
@@ -672,20 +688,36 @@ func writeUnavailable(w http.ResponseWriter, retryAfter int, msg string) {
 	writeError(w, http.StatusServiceUnavailable, msg)
 }
 
-// healthView is the /healthz body: liveness plus the backpressure and
-// durability signals a fleet scheduler (or a backoff client) needs.
-type healthView struct {
-	Status        string `json:"status"`
+// HealthView is the /healthz body: liveness plus the backpressure and
+// durability signals a fleet scheduler (or a backoff client) needs. It is
+// exported because it is also the shape Client.Health decodes — the fleet
+// heartbeat reads QueueDepth/QueueCapacity for admission accounting. On a
+// coordinator, Workers reports the health registry's per-worker verdicts.
+type HealthView struct {
+	Status        string         `json:"status"`
+	QueueDepth    int            `json:"queue_depth"`
+	QueueCapacity int            `json:"queue_capacity"`
+	Jobs          int            `json:"jobs"`
+	Live          int            `json:"live"`
+	Store         string         `json:"store"`
+	Workers       []WorkerHealth `json:"workers,omitempty"`
+}
+
+// WorkerHealth is one worker's row in a coordinator's /healthz: the health
+// state machine's verdict (healthy/suspect/dead/recovered), the circuit
+// breaker's state (closed/open/half_open), and the queue figures its last
+// live heartbeat reported.
+type WorkerHealth struct {
+	Name          string `json:"name"`
+	State         string `json:"state"`
+	Breaker       string `json:"breaker"`
 	QueueDepth    int    `json:"queue_depth"`
 	QueueCapacity int    `json:"queue_capacity"`
-	Jobs          int    `json:"jobs"`
-	Live          int    `json:"live"`
-	Store         string `json:"store"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	v := healthView{
+	v := HealthView{
 		Status:        "ok",
 		QueueDepth:    len(s.queue),
 		QueueCapacity: s.depth,
@@ -710,6 +742,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		v.Store = "wedged: " + s.st.Err().Error()
 	default:
 		v.Store = "ok"
+	}
+	for _, wk := range s.workers {
+		v.Workers = append(v.Workers, wk.snapshot())
 	}
 	writeJSON(w, http.StatusOK, v)
 }
@@ -821,6 +856,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if len(s.workers) > 0 {
+		// Coordinator overload control: admit only what the fleet can absorb.
+		// Accepting a campaign no live worker can take just parks it behind a
+		// saturated queue; shedding it now with a measured Retry-After lets
+		// the client's backoff do something useful.
+		if retry, reason, ok := s.fleetAdmission(); !ok {
+			s.log.Warn("campaign shed by fleet admission control",
+				"reason", reason, "retry_after", retry)
+			writeUnavailable(w, retry, reason)
+			return
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -838,7 +885,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.nextID-- // the id was never visible
 		s.mu.Unlock()
-		writeUnavailable(w, retryAfterFull, "job queue full; retry later")
+		retry := retryAfterFull
+		if len(s.workers) > 0 {
+			// A coordinator knows its drain rate; hint with a measurement.
+			retry = s.drainRetryAfter()
+		}
+		writeUnavailable(w, retry, "job queue full; retry later")
 		return
 	}
 	s.persistSubmit(j.id, body, j.total, j.submitted, timeout)
